@@ -1,0 +1,33 @@
+"""Branch prediction substrate.
+
+Implements the Table 1 front-end predictor: a combining (tournament)
+predictor with a 64K-entry gshare component, a two-level PAs component
+(16K first-level local histories, 64K second-level counters), a 64K-entry
+meta chooser, and a 2K-entry 4-way BTB.
+
+The cores can run in two front-end modes:
+
+* **real-predictor mode** — branches are predicted by
+  :class:`~repro.branch.combining.CombiningPredictor` over the synthetic
+  branch-outcome streams produced by the workload generator; the
+  misprediction rate is emergent.
+* **synthetic-outcome mode** (default for paper experiments) — each trace
+  branch carries a ``mispredicted`` flag drawn at the profile's
+  misprediction rate, making the rate a controlled experimental parameter
+  exactly as the benchmark selection controlled it in the paper.
+"""
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.combining import CombiningPredictor
+from repro.branch.gshare import GShare
+from repro.branch.saturating import SaturatingCounter, counter_table
+from repro.branch.twolevel import TwoLevelPAs
+
+__all__ = [
+    "BranchTargetBuffer",
+    "CombiningPredictor",
+    "GShare",
+    "SaturatingCounter",
+    "TwoLevelPAs",
+    "counter_table",
+]

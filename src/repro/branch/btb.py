@@ -1,0 +1,52 @@
+"""Branch target buffer."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class BranchTargetBuffer:
+    """A set-associative BTB with LRU replacement.
+
+    Table 1 specifies a 2K-entry, 4-way BTB.  Each set is kept as an
+    ordered mapping from branch PC to target, with least-recently-used
+    order maintained on every lookup hit and update.
+    """
+
+    def __init__(self, entries: int = 2048, ways: int = 4):
+        if entries <= 0 or ways <= 0 or entries % ways:
+            raise ValueError(f"BTB entries ({entries}) must divide evenly into ways ({ways})")
+        self._num_sets = entries // ways
+        if self._num_sets & (self._num_sets - 1):
+            raise ValueError(f"BTB set count must be a power of two, got {self._num_sets}")
+        self._ways = ways
+        self._sets: list[OrderedDict[int, int]] = [OrderedDict() for _ in range(self._num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _set_for(self, pc: int) -> OrderedDict[int, int]:
+        return self._sets[(pc >> 2) & (self._num_sets - 1)]
+
+    def lookup(self, pc: int) -> int | None:
+        """Return the predicted target for the branch at ``pc``, or ``None``.
+
+        A miss means the front end cannot redirect fetch even if the
+        direction predictor says taken.
+        """
+        entry_set = self._set_for(pc)
+        target = entry_set.get(pc)
+        if target is None:
+            self.misses += 1
+            return None
+        entry_set.move_to_end(pc)
+        self.hits += 1
+        return target
+
+    def update(self, pc: int, target: int) -> None:
+        """Install or refresh the target of the branch at ``pc``."""
+        entry_set = self._set_for(pc)
+        if pc in entry_set:
+            entry_set.move_to_end(pc)
+        elif len(entry_set) >= self._ways:
+            entry_set.popitem(last=False)
+        entry_set[pc] = target

@@ -1,0 +1,51 @@
+"""GShare global-history predictor component."""
+
+from __future__ import annotations
+
+from repro.branch.saturating import counter_table
+
+
+class GShare:
+    """GShare: global branch history XORed with the PC indexes a PHT.
+
+    Args:
+        entries: Number of 2-bit counters in the pattern history table.
+            Table 1 uses 64K.
+        history_bits: Number of global history bits.  Defaults to
+            ``log2(entries)`` so the full index width is exercised.
+    """
+
+    def __init__(self, entries: int = 64 * 1024, history_bits: int | None = None):
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError(f"entries must be a positive power of two, got {entries}")
+        self._mask = entries - 1
+        self._pht = counter_table(entries, bits=2)
+        index_bits = entries.bit_length() - 1
+        self._history_bits = history_bits if history_bits is not None else index_bits
+        if self._history_bits < 0:
+            raise ValueError("history_bits must be non-negative")
+        self._history_mask = (1 << self._history_bits) - 1
+        self._history = 0
+
+    @property
+    def history(self) -> int:
+        """Current global history register value."""
+        return self._history
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        """Predict the direction of the branch at ``pc``."""
+        return self._pht[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the PHT entry for ``pc`` and shift the global history."""
+        index = self._index(pc)
+        counter = self._pht[index]
+        if taken:
+            if counter < 3:
+                self._pht[index] = counter + 1
+        elif counter > 0:
+            self._pht[index] = counter - 1
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask

@@ -1,0 +1,54 @@
+"""Saturating counters, the basic storage element of dynamic predictors."""
+
+from __future__ import annotations
+
+
+class SaturatingCounter:
+    """An n-bit up/down saturating counter.
+
+    The counter saturates at ``0`` and ``2**bits - 1``.  The *taken*
+    prediction is the counter's top bit (weakly/strongly-taken states).
+    """
+
+    __slots__ = ("_value", "_max")
+
+    def __init__(self, bits: int = 2, initial: int | None = None):
+        if bits < 1:
+            raise ValueError("counter needs at least one bit")
+        self._max = (1 << bits) - 1
+        if initial is None:
+            # Start weakly not-taken: the highest value that predicts False.
+            initial = self._max // 2
+        if not 0 <= initial <= self._max:
+            raise ValueError(f"initial value {initial} out of range")
+        self._value = initial
+
+    @property
+    def value(self) -> int:
+        """Current counter value."""
+        return self._value
+
+    def predict(self) -> bool:
+        """True if the counter is in a taken (upper-half) state."""
+        return self._value > self._max // 2
+
+    def update(self, taken: bool) -> None:
+        """Train the counter toward ``taken``."""
+        if taken:
+            if self._value < self._max:
+                self._value += 1
+        elif self._value > 0:
+            self._value -= 1
+
+
+def counter_table(entries: int, bits: int = 2) -> list[int]:
+    """Allocate a flat saturating-counter table as a list of ints.
+
+    Predictor components store raw integers rather than
+    :class:`SaturatingCounter` objects in their hot paths; this helper
+    centralises the initial (weakly not-taken) value computation.
+    """
+    if entries <= 0 or entries & (entries - 1):
+        raise ValueError(f"table entries must be a positive power of two, got {entries}")
+    initial = ((1 << bits) - 1) // 2
+    return [initial] * entries

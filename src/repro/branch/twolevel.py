@@ -1,0 +1,52 @@
+"""Two-level per-address (PAs) predictor component."""
+
+from __future__ import annotations
+
+from repro.branch.saturating import counter_table
+
+
+class TwoLevelPAs:
+    """PAs two-level predictor: per-branch local histories index a shared PHT.
+
+    The first level is a table of local history registers selected by the
+    branch PC; the second level is a table of 2-bit counters indexed by the
+    selected local history (concatenated with low PC bits so unrelated
+    branches with identical histories do not fully alias).
+
+    Table 1 uses a 16K-entry first level and a 64K-entry second level.
+    """
+
+    def __init__(self, l1_entries: int = 16 * 1024, l2_entries: int = 64 * 1024):
+        for name, entries in (("l1_entries", l1_entries), ("l2_entries", l2_entries)):
+            if entries <= 0 or entries & (entries - 1):
+                raise ValueError(f"{name} must be a positive power of two, got {entries}")
+        self._l1_mask = l1_entries - 1
+        self._l2_mask = l2_entries - 1
+        self._history_bits = min(12, l2_entries.bit_length() - 1)
+        self._history_mask = (1 << self._history_bits) - 1
+        self._histories = [0] * l1_entries
+        self._pht = counter_table(l2_entries, bits=2)
+
+    def _l1_index(self, pc: int) -> int:
+        return (pc >> 2) & self._l1_mask
+
+    def _l2_index(self, pc: int, history: int) -> int:
+        return ((history << 4) ^ (pc >> 2)) & self._l2_mask
+
+    def predict(self, pc: int) -> bool:
+        """Predict the direction of the branch at ``pc``."""
+        history = self._histories[self._l1_index(pc)]
+        return self._pht[self._l2_index(pc, history)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the PHT entry and shift the branch's local history."""
+        l1 = self._l1_index(pc)
+        history = self._histories[l1]
+        l2 = self._l2_index(pc, history)
+        counter = self._pht[l2]
+        if taken:
+            if counter < 3:
+                self._pht[l2] = counter + 1
+        elif counter > 0:
+            self._pht[l2] = counter - 1
+        self._histories[l1] = ((history << 1) | int(taken)) & self._history_mask

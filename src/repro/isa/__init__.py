@@ -1,0 +1,54 @@
+"""Micro-op instruction set architecture used by the simulated cores.
+
+The simulator is trace driven: workloads are sequences of
+:class:`~repro.isa.instruction.MicroOp` records that carry operation class,
+register operands, and (for memory and control operations) the effective
+address or branch outcome.  The op classes and latencies mirror Table 1 of
+the paper (8 IALU, 2 IMUL/IDIV, 2 FALU, 2 FMUL/FDIV; all pipelined except
+the divides).
+"""
+
+from repro.isa.instruction import MicroOp, format_microop
+from repro.isa.opcodes import (
+    FU_CLASSES,
+    OpClass,
+    default_latencies,
+    fu_class_for,
+    is_branch,
+    is_fp,
+    is_long_latency,
+    is_mem,
+)
+from repro.isa.registers import (
+    FP_REG_BASE,
+    NUM_ARCH_REGS,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    REG_ZERO,
+    fp_reg,
+    int_reg,
+    is_fp_reg,
+    reg_name,
+)
+
+__all__ = [
+    "FP_REG_BASE",
+    "FU_CLASSES",
+    "MicroOp",
+    "NUM_ARCH_REGS",
+    "NUM_FP_REGS",
+    "NUM_INT_REGS",
+    "OpClass",
+    "REG_ZERO",
+    "default_latencies",
+    "format_microop",
+    "fp_reg",
+    "fu_class_for",
+    "int_reg",
+    "is_branch",
+    "is_fp",
+    "is_fp_reg",
+    "is_long_latency",
+    "is_mem",
+    "reg_name",
+]

@@ -1,0 +1,130 @@
+"""Operation classes, functional-unit classes, and execution latencies.
+
+The micro-op ISA distinguishes exactly the operation classes that matter to
+the paper's contention analysis:
+
+* ``IALU``   — single-cycle integer ALU ops (also used for address
+  generation and branch condition evaluation).
+* ``IMUL`` / ``IDIV`` — integer multiply / divide, sharing the two
+  integer multiply units (divide is unpipelined).
+* ``FALU`` / ``FMUL`` / ``FDIV`` — floating-point add, multiply, divide;
+  divides share the multiply units and are unpipelined.
+* ``LOAD`` / ``STORE`` — memory operations; address generation occupies an
+  issue slot, the access occupies a cache port.
+* ``BRANCH`` — conditional/unconditional control flow, evaluated on an
+  integer ALU.
+* ``NOP``   — occupies front-end bandwidth only.
+
+Latencies default to Table 1 of the paper: IALU 1, IMUL 3, IDIV 19,
+FALU 2, FMUL 4, FDIV 12, all pipelined except IDIV and FDIV.  Load latency
+is determined by the memory hierarchy, not by this table.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Mapping
+
+
+class OpClass(enum.IntEnum):
+    """Operation class of a micro-op."""
+
+    IALU = 0
+    IMUL = 1
+    IDIV = 2
+    FALU = 3
+    FMUL = 4
+    FDIV = 5
+    LOAD = 6
+    STORE = 7
+    BRANCH = 8
+    NOP = 9
+
+
+class FUClass(enum.IntEnum):
+    """Functional-unit class an operation executes on.
+
+    Divides share the corresponding multiply units, and loads, stores and
+    branches use the integer ALUs for address generation / condition
+    evaluation, exactly as a balanced superscalar would schedule them.
+    """
+
+    IALU = 0
+    IMUL = 1
+    FALU = 2
+    FMUL = 3
+
+
+#: All functional-unit classes, in a stable order.
+FU_CLASSES: tuple[FUClass, ...] = (
+    FUClass.IALU,
+    FUClass.IMUL,
+    FUClass.FALU,
+    FUClass.FMUL,
+)
+
+_FU_FOR_OP: Mapping[OpClass, FUClass] = {
+    OpClass.IALU: FUClass.IALU,
+    OpClass.IMUL: FUClass.IMUL,
+    OpClass.IDIV: FUClass.IMUL,
+    OpClass.FALU: FUClass.FALU,
+    OpClass.FMUL: FUClass.FMUL,
+    OpClass.FDIV: FUClass.FMUL,
+    OpClass.LOAD: FUClass.IALU,
+    OpClass.STORE: FUClass.IALU,
+    OpClass.BRANCH: FUClass.IALU,
+    OpClass.NOP: FUClass.IALU,
+}
+
+#: Execution latency in cycles for each op class (Table 1).  ``LOAD`` shows
+#: the address-generation latency only; the cache access latency is added by
+#: the memory hierarchy.
+_DEFAULT_LATENCY: Mapping[OpClass, int] = {
+    OpClass.IALU: 1,
+    OpClass.IMUL: 3,
+    OpClass.IDIV: 19,
+    OpClass.FALU: 2,
+    OpClass.FMUL: 4,
+    OpClass.FDIV: 12,
+    OpClass.LOAD: 1,
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.NOP: 1,
+}
+
+#: Op classes whose functional unit is blocked for the whole execution
+#: (unpipelined units, per Table 1).
+UNPIPELINED_OPS: frozenset[OpClass] = frozenset({OpClass.IDIV, OpClass.FDIV})
+
+_FP_OPS: frozenset[OpClass] = frozenset({OpClass.FALU, OpClass.FMUL, OpClass.FDIV})
+_MEM_OPS: frozenset[OpClass] = frozenset({OpClass.LOAD, OpClass.STORE})
+
+
+def fu_class_for(op: OpClass) -> FUClass:
+    """Return the functional-unit class that executes ``op``."""
+    return _FU_FOR_OP[op]
+
+
+def default_latencies() -> dict[OpClass, int]:
+    """Return a mutable copy of the Table 1 latency map."""
+    return dict(_DEFAULT_LATENCY)
+
+
+def is_fp(op: OpClass) -> bool:
+    """True if ``op`` is a floating-point arithmetic operation."""
+    return op in _FP_OPS
+
+
+def is_mem(op: OpClass) -> bool:
+    """True if ``op`` is a load or a store."""
+    return op in _MEM_OPS
+
+
+def is_branch(op: OpClass) -> bool:
+    """True if ``op`` is a control-flow operation."""
+    return op is OpClass.BRANCH
+
+
+def is_long_latency(op: OpClass) -> bool:
+    """True if ``op`` blocks its (unpipelined) functional unit."""
+    return op in UNPIPELINED_OPS

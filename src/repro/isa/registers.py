@@ -1,0 +1,60 @@
+"""Architectural register namespace.
+
+The micro-op ISA exposes a flat architectural register file of 64 names:
+32 integer registers (``r0`` .. ``r31``) followed by 32 floating-point
+registers (``f0`` .. ``f31``).  ``r0`` is a hard-wired zero register: it is
+never renamed and reading it creates no dependency, which the trace
+generator uses to produce dependency-free operands.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_ARCH_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: Architectural index of the hard-wired integer zero register.
+REG_ZERO = 0
+
+#: First architectural index of the floating-point bank.
+FP_REG_BASE = NUM_INT_REGS
+
+
+def int_reg(index: int) -> int:
+    """Return the architectural number of integer register ``index``.
+
+    Raises:
+        ValueError: if ``index`` is outside ``[0, NUM_INT_REGS)``.
+    """
+    if not 0 <= index < NUM_INT_REGS:
+        raise ValueError(f"integer register index out of range: {index}")
+    return index
+
+
+def fp_reg(index: int) -> int:
+    """Return the architectural number of floating-point register ``index``.
+
+    Raises:
+        ValueError: if ``index`` is outside ``[0, NUM_FP_REGS)``.
+    """
+    if not 0 <= index < NUM_FP_REGS:
+        raise ValueError(f"fp register index out of range: {index}")
+    return FP_REG_BASE + index
+
+
+def is_fp_reg(reg: int) -> bool:
+    """True if architectural register ``reg`` is in the floating-point bank."""
+    return reg >= FP_REG_BASE
+
+
+def reg_name(reg: int) -> str:
+    """Human-readable name (``r7``, ``f3``) of architectural register ``reg``.
+
+    Raises:
+        ValueError: if ``reg`` is outside the architectural namespace.
+    """
+    if not 0 <= reg < NUM_ARCH_REGS:
+        raise ValueError(f"architectural register out of range: {reg}")
+    if reg < FP_REG_BASE:
+        return f"r{reg}"
+    return f"f{reg - FP_REG_BASE}"
