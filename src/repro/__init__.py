@@ -1,0 +1,16 @@
+"""Reproduction of *Efficient Resource Sharing in Concurrent Error
+Detecting Superscalar Microarchitectures* (Smolens et al., MICRO 2004).
+
+Subpackages:
+
+* :mod:`repro.isa` — trace micro-op ISA, Table 1 latencies.
+* :mod:`repro.branch` — combining predictor (gshare + PAs + meta) and BTB.
+* :mod:`repro.memory` — caches, MSHRs, bus, and the timing hierarchy.
+* :mod:`repro.core` — the superscalar core and the shared-resource checker.
+* :mod:`repro.workloads` — synthetic trace generator and scenario presets.
+
+``python -m repro --preset int-heavy --check`` runs a checked-vs-unchecked
+experiment from the command line.
+"""
+
+__version__ = "0.1.0"

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from repro.util import require_power_of_two
+
 
 class BranchTargetBuffer:
     """A set-associative BTB with LRU replacement.
@@ -16,9 +18,7 @@ class BranchTargetBuffer:
     def __init__(self, entries: int = 2048, ways: int = 4):
         if entries <= 0 or ways <= 0 or entries % ways:
             raise ValueError(f"BTB entries ({entries}) must divide evenly into ways ({ways})")
-        self._num_sets = entries // ways
-        if self._num_sets & (self._num_sets - 1):
-            raise ValueError(f"BTB set count must be a power of two, got {self._num_sets}")
+        self._num_sets = require_power_of_two(entries // ways, "BTB set count")
         self._ways = ways
         self._sets: list[OrderedDict[int, int]] = [OrderedDict() for _ in range(self._num_sets)]
         self.hits = 0

@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 from repro.branch.btb import BranchTargetBuffer
 from repro.branch.gshare import GShare
-from repro.branch.saturating import counter_table
+from repro.branch.saturating import counter_table, train_counter
 from repro.branch.twolevel import TwoLevelPAs
 
 
@@ -78,15 +78,10 @@ class CombiningPredictor:
         mispredicted = prediction.taken != taken or (taken and prediction.target != target)
         if mispredicted:
             self.mispredictions += 1
-        # Train the meta chooser only when the components disagreed.
+        # Train the meta chooser only when the components disagreed; it
+        # counts toward PAs, so "taken" here means "PAs was right".
         if prediction.gshare_taken != prediction.pas_taken:
-            index = self._meta_index(pc)
-            counter = self._meta[index]
-            if prediction.pas_taken == taken:
-                if counter < 3:
-                    self._meta[index] = counter + 1
-            elif counter > 0:
-                self._meta[index] = counter - 1
+            train_counter(self._meta, self._meta_index(pc), prediction.pas_taken == taken)
         self.gshare.update(pc, taken)
         self.pas.update(pc, taken)
         if taken:

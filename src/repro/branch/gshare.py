@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from repro.branch.saturating import counter_table
+from repro.branch.saturating import counter_table, train_counter
+from repro.util import require_power_of_two
 
 
 class GShare:
@@ -16,9 +17,7 @@ class GShare:
     """
 
     def __init__(self, entries: int = 64 * 1024, history_bits: int | None = None):
-        if entries <= 0 or entries & (entries - 1):
-            raise ValueError(f"entries must be a positive power of two, got {entries}")
-        self._mask = entries - 1
+        self._mask = require_power_of_two(entries, "entries") - 1
         self._pht = counter_table(entries, bits=2)
         index_bits = entries.bit_length() - 1
         self._history_bits = history_bits if history_bits is not None else index_bits
@@ -41,11 +40,5 @@ class GShare:
 
     def update(self, pc: int, taken: bool) -> None:
         """Train the PHT entry for ``pc`` and shift the global history."""
-        index = self._index(pc)
-        counter = self._pht[index]
-        if taken:
-            if counter < 3:
-                self._pht[index] = counter + 1
-        elif counter > 0:
-            self._pht[index] = counter - 1
+        train_counter(self._pht, self._index(pc), taken)
         self._history = ((self._history << 1) | int(taken)) & self._history_mask

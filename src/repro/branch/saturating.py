@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from repro.util import require_power_of_two
+
 
 class SaturatingCounter:
     """An n-bit up/down saturating counter.
@@ -41,6 +43,20 @@ class SaturatingCounter:
             self._value -= 1
 
 
+def train_counter(table: list[int], index: int, taken: bool, bits: int = 2) -> None:
+    """Train one raw-int counter in ``table`` toward ``taken``, saturating.
+
+    The flat-table twin of :meth:`SaturatingCounter.update`, shared by the
+    predictor components so the clamp bounds live in one place.
+    """
+    counter = table[index]
+    if taken:
+        if counter < (1 << bits) - 1:
+            table[index] = counter + 1
+    elif counter > 0:
+        table[index] = counter - 1
+
+
 def counter_table(entries: int, bits: int = 2) -> list[int]:
     """Allocate a flat saturating-counter table as a list of ints.
 
@@ -48,7 +64,6 @@ def counter_table(entries: int, bits: int = 2) -> list[int]:
     :class:`SaturatingCounter` objects in their hot paths; this helper
     centralises the initial (weakly not-taken) value computation.
     """
-    if entries <= 0 or entries & (entries - 1):
-        raise ValueError(f"table entries must be a positive power of two, got {entries}")
+    require_power_of_two(entries, "table entries")
     initial = ((1 << bits) - 1) // 2
     return [initial] * entries

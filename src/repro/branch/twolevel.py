@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from repro.branch.saturating import counter_table
+from repro.branch.saturating import counter_table, train_counter
+from repro.util import require_power_of_two
 
 
 class TwoLevelPAs:
@@ -17,11 +18,8 @@ class TwoLevelPAs:
     """
 
     def __init__(self, l1_entries: int = 16 * 1024, l2_entries: int = 64 * 1024):
-        for name, entries in (("l1_entries", l1_entries), ("l2_entries", l2_entries)):
-            if entries <= 0 or entries & (entries - 1):
-                raise ValueError(f"{name} must be a positive power of two, got {entries}")
-        self._l1_mask = l1_entries - 1
-        self._l2_mask = l2_entries - 1
+        self._l1_mask = require_power_of_two(l1_entries, "l1_entries") - 1
+        self._l2_mask = require_power_of_two(l2_entries, "l2_entries") - 1
         self._history_bits = min(12, l2_entries.bit_length() - 1)
         self._history_mask = (1 << self._history_bits) - 1
         self._histories = [0] * l1_entries
@@ -42,11 +40,5 @@ class TwoLevelPAs:
         """Train the PHT entry and shift the branch's local history."""
         l1 = self._l1_index(pc)
         history = self._histories[l1]
-        l2 = self._l2_index(pc, history)
-        counter = self._pht[l2]
-        if taken:
-            if counter < 3:
-                self._pht[l2] = counter + 1
-        elif counter > 0:
-            self._pht[l2] = counter - 1
+        train_counter(self._pht, self._l2_index(pc, history), taken)
         self._histories[l1] = ((history << 1) | int(taken)) & self._history_mask

@@ -1,0 +1,164 @@
+"""Experiment runner: ``python -m repro --preset int-heavy --check``.
+
+Runs a synthetic workload through an unchecked baseline core and (with
+``--check``) through the same core with the shared-resource checker and
+fault injection enabled, then reports IPC, checker slot-steal rate,
+detection coverage and latency, and the checked-vs-unchecked slowdown —
+the headline numbers of the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.core.params import CheckerParams, CoreParams
+from repro.core.core import SuperscalarCore
+from repro.workloads import PRESETS, WorkloadProfile, generate
+
+
+def run_experiment(
+    profile: WorkloadProfile,
+    num_ops: int = 20_000,
+    seed: int = 0,
+    check: bool = True,
+    fault_rate: float = 1e-4,
+    real_predictor: bool = False,
+) -> dict:
+    """Run one preset through baseline and (optionally) checked cores.
+
+    Both cores consume the *same* trace, so every difference in the stats
+    is attributable to the checker's resource sharing and recoveries.
+    """
+    trace = generate(profile, num_ops, seed=seed)
+    baseline = SuperscalarCore(CoreParams(use_real_predictor=real_predictor))
+    baseline_stats = baseline.run(trace)
+    result: dict = {
+        "preset": profile.name,
+        "ops": num_ops,
+        "seed": seed,
+        "unchecked": baseline_stats.to_dict(),
+    }
+    if check:
+        checker = CheckerParams(enabled=True, fault_rate=fault_rate, fault_seed=seed + 1)
+        checked = SuperscalarCore(
+            CoreParams(use_real_predictor=real_predictor, checker=checker)
+        )
+        checked_stats = checked.run(trace)
+        result["checked"] = checked_stats.to_dict()
+        # None (JSON null) rather than inf: json.dumps would emit the
+        # non-RFC-8259 literal `Infinity` for float("inf").
+        result["slowdown"] = (
+            baseline_stats.ipc / checked_stats.ipc if checked_stats.ipc else None
+        )
+        result["fault_coverage"] = _coverage(result["checked"])
+    return result
+
+
+def _coverage(checked: dict) -> float:
+    live = checked["faults_injected"] - checked["faults_squashed"]
+    if live <= 0:
+        return 1.0
+    return checked["faults_detected"] / live
+
+
+def format_report(result: dict) -> str:
+    """Human-readable multi-line summary of one experiment."""
+    unchecked = result["unchecked"]
+    lines = [
+        f"preset={result['preset']} ops={result['ops']} seed={result['seed']}",
+        (
+            f"  unchecked: IPC {unchecked['ipc']:.3f}  cycles {unchecked['cycles']:.0f}  "
+            f"l1d-miss {unchecked['mem_l1d_miss_rate']:.1%}  "
+            f"mispredict {unchecked['mispredict_rate']:.1%}"
+        ),
+    ]
+    if "checked" in result:
+        checked = result["checked"]
+        lines.append(
+            f"  checked:   IPC {checked['ipc']:.3f}  cycles {checked['cycles']:.0f}  "
+            f"slot-steal {checked['slot_steal_rate']:.1%}  "
+            f"checks {checked['checks_completed']:.0f}"
+        )
+        lines.append(
+            f"  faults:    injected {checked['faults_injected']:.0f}  "
+            f"detected {checked['faults_detected']:.0f}  "
+            f"squashed {checked['faults_squashed']:.0f}  "
+            f"coverage {result['fault_coverage']:.1%}  "
+            f"det-latency mean {checked['mean_detection_latency']:.1f} "
+            f"max {checked['max_detection_latency']:.0f}"
+        )
+        slowdown = result["slowdown"]
+        lines.append(
+            f"  slowdown:  {slowdown:.3f}x" if slowdown is not None else "  slowdown:  n/a"
+        )
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Checked-superscalar experiments: shared-resource concurrent "
+            "error detection (Smolens et al., MICRO 2004)."
+        ),
+    )
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--preset", choices=sorted(PRESETS), default="int-heavy", help="workload scenario"
+    )
+    group.add_argument(
+        "--all-presets", action="store_true", help="run every bundled scenario"
+    )
+    parser.add_argument("--ops", type=int, default=20_000, help="trace length")
+    parser.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="also run the checked core and report slowdown vs. the baseline",
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=1e-4,
+        help="per-op transient-fault probability in the checked run",
+    )
+    parser.add_argument(
+        "--real-predictor",
+        action="store_true",
+        help="use the combining predictor instead of trace mispredict flags",
+    )
+    parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.fault_rate <= 1.0:
+        parser.error(f"--fault-rate must be in [0, 1], got {args.fault_rate}")
+    if args.ops < 0:
+        parser.error(f"--ops must be non-negative, got {args.ops}")
+    names = sorted(PRESETS) if args.all_presets else [args.preset]
+    results = [
+        run_experiment(
+            PRESETS[name],
+            num_ops=args.ops,
+            seed=args.seed,
+            check=args.check,
+            fault_rate=args.fault_rate,
+            real_predictor=args.real_predictor,
+        )
+        for name in names
+    ]
+    if args.json:
+        print(json.dumps(results if args.all_presets else results[0], indent=2))
+    else:
+        print("\n\n".join(format_report(result) for result in results))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""SHREC-style shared-resource checker.
+
+Instructions that finish (possibly out-of-order) primary execution are
+re-executed **in program order** through the *same* issue slots and
+functional units as the primary stream, consuming only bandwidth the
+primary scheduler left idle that cycle.  The re-execution reads verified
+operand values (produced by older checks or already-committed state), so a
+corrupted primary result shows up as a mismatch when its check completes —
+always before the instruction can commit, because commit is gated on the
+``checked`` flag.
+
+Simplifications versus the hardware proposal, chosen to keep the model
+single-pass:
+
+* Checker loads/stores re-execute address generation on an integer ALU in
+  one cycle; the loaded value is bypassed from the load/store queue rather
+  than re-reading the data cache, so the checker never competes for
+  D-cache ports.
+* Faults are carried as flags rather than wrong values, so a check
+  "compares" by looking at the flag; timing is unaffected by this.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.dynop import DynOp
+from repro.core.scheduler import FUPool
+from repro.core.stats import CoreStats
+from repro.isa.opcodes import OpClass, UNPIPELINED_OPS, fu_class_for
+from repro.isa.registers import REG_ZERO
+
+
+class Checker:
+    """In-order re-execution engine layered over the primary core."""
+
+    def __init__(self, fu_pool: FUPool, latencies: dict[OpClass, int], stats: CoreStats):
+        self._fu = fu_pool
+        self._lat = latencies
+        self._stats = stats
+        # Cycle at which each register's *verified* value becomes available.
+        # Absent key = value verified long ago (committed state), ready now.
+        self._reg_ready: dict[int, int] = {}
+
+    # ----------------------------------------------------------- completions
+
+    def process_completions(self, window: deque[DynOp], now: int) -> DynOp | None:
+        """Retire finished checks; return the first detected-faulty op.
+
+        Scans in program order so that when several checks finish on the
+        same cycle, the oldest fault wins and the caller squashes everything
+        younger (which covers the rest).
+        """
+        for op in window:
+            if op.checked or op.check_complete_at is None or op.check_complete_at > now:
+                continue
+            if op.faulty:
+                self._stats.faults_detected += 1
+                latency = op.check_complete_at - (op.fault_at or op.check_complete_at)
+                self._stats.detection_latency_sum += latency
+                self._stats.detection_latency_max = max(
+                    self._stats.detection_latency_max, latency
+                )
+                return op
+            op.checked = True
+            self._stats.checks_completed += 1
+        return None
+
+    # ----------------------------------------------------------------- issue
+
+    def issue(self, window: deque[DynOp], now: int, slots: int) -> int:
+        """Re-issue pending checks into up to ``slots`` leftover issue slots.
+
+        Checks issue strictly in program order: the scan stops at the first
+        op that cannot check this cycle (primary still executing, verified
+        operands pending, or no unit/slot), mirroring the in-order check
+        pipeline of the paper.
+
+        Returns:
+            Number of issue slots consumed.
+        """
+        used = 0
+        for op in window:
+            if op.checked or op.check_issued_at is not None:
+                continue
+            if used >= slots:
+                break
+            if not op.completed(now):
+                break
+            if not self._operands_verified(op, now):
+                break
+            cls = fu_class_for(op.uop.op)
+            if self._fu.available(cls) <= 0:
+                break
+            latency = self._check_latency(op.uop.op)
+            complete = now + latency
+            busy_until = complete if op.uop.op in UNPIPELINED_OPS else None
+            self._fu.acquire(cls, busy_until)
+            op.check_issued_at = now
+            op.check_complete_at = complete
+            dest = op.uop.dest
+            if dest is not None and dest != REG_ZERO:
+                self._reg_ready[dest] = complete
+            used += 1
+        self._stats.checker_slots_used += used
+        return used
+
+    def _operands_verified(self, op: DynOp, now: int) -> bool:
+        return all(
+            self._reg_ready.get(src, 0) <= now
+            for src in op.uop.srcs
+            if src != REG_ZERO
+        )
+
+    def _check_latency(self, op: OpClass) -> int:
+        if op is OpClass.LOAD or op is OpClass.STORE:
+            return 1  # address re-generation; value bypassed from the LSQ
+        return self._lat[op]
+
+    # -------------------------------------------------------------- recovery
+
+    def rebuild_after_squash(self, window: deque[DynOp]) -> None:
+        """Recompute verified-value ready times from the surviving window.
+
+        Squashed in-flight checks may have advertised ready times for
+        registers they will never verify; surviving ops re-advertise theirs
+        in program order (later writers overwrite earlier ones).
+        """
+        self._reg_ready.clear()
+        for op in window:
+            dest = op.uop.dest
+            if dest is None or dest == REG_ZERO:
+                continue
+            if op.check_complete_at is not None:
+                self._reg_ready[dest] = op.check_complete_at

@@ -1,0 +1,299 @@
+"""Cycle-level superscalar core with an optional shared-resource checker.
+
+The machine is trace driven and models the paper's pipeline shape:
+
+* **fetch** — up to ``fetch_width`` micro-ops per cycle enter a bounded
+  window; fetch stalls on I-cache misses and stops at a mispredicted
+  branch until the branch resolves (no wrong-path execution is modelled,
+  so the full penalty is resolution wait + redirect).
+* **rename** — source operands capture direct references to their in-flight
+  producers; the zero register never creates a dependency.
+* **issue/execute** — oldest-first out-of-order issue of ready ops into the
+  shared issue slots and Table 1 functional units; loads and stores go
+  through the memory hierarchy (ports, MSHRs, bus) and replay on
+  structural refusal; divides block their unpipelined units.
+* **check** — with the checker enabled, completed ops are re-executed in
+  program order through whatever issue slots and units the primary stream
+  left idle this cycle (see :mod:`repro.core.checker`); commit is gated on
+  verification, and a detected fault squashes all younger ops and replays
+  them from the verified state.
+* **commit** — in-order, up to ``commit_width`` per cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from repro.branch.combining import CombiningPredictor
+from repro.core.checker import Checker
+from repro.core.dynop import DynOp
+from repro.core.faults import FaultInjector
+from repro.core.params import CoreParams
+from repro.core.scheduler import FUPool
+from repro.core.stats import CoreStats
+from repro.isa.instruction import MicroOp
+from repro.isa.opcodes import OpClass, UNPIPELINED_OPS, default_latencies, fu_class_for
+from repro.isa.registers import REG_ZERO
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+class SuperscalarCore:
+    """One simulated core; :meth:`run` executes a trace to completion."""
+
+    def __init__(
+        self,
+        params: CoreParams | None = None,
+        hierarchy: MemoryHierarchy | None = None,
+        predictor: CombiningPredictor | None = None,
+    ):
+        self.params = params or CoreParams()
+        self.hierarchy = hierarchy if hierarchy is not None else MemoryHierarchy()
+        self._owns_predictor = predictor is None and self.params.use_real_predictor
+        self.predictor = predictor  # built by _reset_run_state() when owned
+        self._latencies = default_latencies()
+        self._trace: Sequence[MicroOp] = ()
+        self.retired: list[DynOp] = []
+        self._window: deque[DynOp] = deque()
+        self._reg_producer: dict[int, DynOp] = {}
+        self._branch_outcome: dict[int, bool] = {}
+        # Everything else per-run lives in _reset_run_state(), the single
+        # source of truth for a fresh measurement.
+        self._reset_run_state()
+
+    def _reset_run_state(self) -> None:
+        """Rebuild everything a fresh measurement needs.
+
+        The hierarchy is always reset: its queues and in-flight misses hold
+        absolute cycle numbers, which would poison a run that restarts at
+        cycle 0 (warm *caches* across runs would need relative timestamps —
+        an open item).  A caller-supplied predictor keeps its trained state;
+        predictor state is cycle-free, so staying warm is sound.
+        """
+        self._fu = FUPool(self.params.fu_counts)
+        self.stats = CoreStats(issue_width=self.params.issue_width)
+        cp = self.params.checker
+        self.checker: Checker | None = None
+        self.fault_injector: FaultInjector | None = None
+        if cp.enabled:
+            self.checker = Checker(self._fu, self._latencies, self.stats)
+            self.fault_injector = FaultInjector(
+                rate=cp.fault_rate, seed=cp.fault_seed, force_seqs=cp.force_fault_seqs
+            )
+        self.hierarchy.reset()
+        if self._owns_predictor:
+            self.predictor = CombiningPredictor()
+        self.retired.clear()
+        self._window.clear()
+        self._reg_producer.clear()
+        self._branch_outcome.clear()
+        self._fetch_index = 0
+        # Redirect stalls (branch/recovery) and I-cache-miss stalls are
+        # tracked separately: a recovery replaces the former but must not
+        # cancel an outstanding instruction-fetch miss.
+        self._fetch_stall_until = 0
+        self._icache_stall_until = 0
+        self._waiting_branch = None
+        self._now = 0
+
+    # ------------------------------------------------------------------- run
+
+    def run(self, trace: Sequence[MicroOp], max_cycles: int | None = None) -> CoreStats:
+        """Simulate ``trace`` to completion and return the stats.
+
+        Raises:
+            RuntimeError: if the simulation exceeds ``max_cycles`` (defaults
+                to a generous bound scaled by trace length) — a deadlock
+                guard, not an expected exit.
+        """
+        self._reset_run_state()
+        self._trace = trace
+        limit = max_cycles if max_cycles is not None else 10_000 + 400 * len(trace)
+        while self._fetch_index < len(trace) or self._window:
+            if self._now > limit:
+                raise RuntimeError(
+                    f"simulation exceeded {limit} cycles with "
+                    f"{len(self._window)} ops in flight — likely deadlock"
+                )
+            self._step()
+        self.stats.cycles = self._now
+        self.stats.memory = self.hierarchy.snapshot()
+        return self.stats
+
+    # ------------------------------------------------------------ cycle step
+
+    def _step(self) -> None:
+        now = self._now
+        if self.checker is not None:
+            faulty = self.checker.process_completions(self._window, now)
+            if faulty is not None:
+                self._recover(faulty, now)
+        self._commit(now)
+        self._fu.begin_cycle(now)
+        slots_left = self._issue_primary(now)
+        if self.checker is not None:
+            self.checker.issue(self._window, now, slots_left)
+        self._fetch(now)
+        self._now = now + 1
+
+    # ---------------------------------------------------------------- commit
+
+    def _commit(self, now: int) -> None:
+        done = 0
+        while self._window and done < self.params.commit_width:
+            op = self._window[0]
+            ready = op.checked if self.checker is not None else op.completed(now)
+            if not ready:
+                break
+            self._window.popleft()
+            op.committed_at = now
+            if self._reg_producer.get(op.uop.dest) is op:
+                del self._reg_producer[op.uop.dest]
+            self.stats.committed += 1
+            if self.params.record_retired:
+                self.retired.append(op)
+            done += 1
+
+    # ----------------------------------------------------------------- issue
+
+    def _issue_primary(self, now: int) -> int:
+        """Oldest-first OOO issue; returns leftover issue slots."""
+        slots = self.params.issue_width
+        for op in self._window:
+            if slots == 0:
+                break
+            if op.issued_at is not None or not op.deps_ready(now):
+                continue
+            cls = fu_class_for(op.uop.op)
+            if self._fu.available(cls) <= 0:
+                continue
+            if op.uop.is_mem():
+                result = self.hierarchy.access(
+                    op.uop.addr, now, is_store=op.uop.op is OpClass.STORE
+                )
+                if not result.ok:
+                    op.replays += 1
+                    self.stats.mem_replays += 1
+                    continue
+                complete = result.ready_at
+            else:
+                complete = now + self._latencies[op.uop.op]
+            op.issued_at = now
+            op.complete_at = complete
+            busy_until = complete if op.uop.op in UNPIPELINED_OPS else None
+            self._fu.acquire(cls, busy_until)
+            slots -= 1
+            self.stats.primary_slots_used += 1
+            if self.fault_injector is not None:
+                self.fault_injector.maybe_inject(op)
+                self.stats.faults_injected = self.fault_injector.injected
+            if op is self._waiting_branch:
+                # Resolution time is now known: fetch restarts after redirect.
+                self._fetch_stall_until = complete + self.params.mispredict_penalty
+                self._waiting_branch = None
+        return slots
+
+    # ----------------------------------------------------------------- fetch
+
+    def _fetch(self, now: int) -> None:
+        if (
+            self._waiting_branch is not None
+            or now < self._fetch_stall_until
+            or now < self._icache_stall_until
+        ):
+            return
+        fetched = 0
+        while (
+            fetched < self.params.fetch_width
+            and self._fetch_index < len(self._trace)
+            and len(self._window) < self.params.window_size
+        ):
+            uop = self._trace[self._fetch_index]
+            if fetched == 0 and self.params.model_icache:
+                result = self.hierarchy.ifetch(uop.pc, now)
+                if result.level != "l1":
+                    self._icache_stall_until = result.ready_at
+                    return
+            op = self._rename(uop, now)
+            self._window.append(op)
+            self._fetch_index += 1
+            fetched += 1
+            self.stats.fetched += 1
+            if uop.is_branch() and self._fetch_branch(op):
+                return
+
+    def _rename(self, uop: MicroOp, now: int) -> DynOp:
+        deps = tuple(
+            producer
+            for src in uop.srcs
+            if src != REG_ZERO and (producer := self._reg_producer.get(src)) is not None
+        )
+        op = DynOp(uop=uop, seq=self._fetch_index, fetched_at=now, deps=deps)
+        if uop.op is OpClass.NOP:
+            # Nops consume front-end and commit bandwidth only.
+            op.issued_at = now
+            op.complete_at = now
+            op.checked = True
+        elif uop.dest is not None and uop.dest != REG_ZERO:
+            self._reg_producer[uop.dest] = op
+        return op
+
+    def _fetch_branch(self, op: DynOp) -> bool:
+        """Record prediction outcome; True if fetch must stop at ``op``.
+
+        A branch re-fetched after a recovery squash reuses its first
+        outcome: the dynamic branch is counted (and, in real-predictor
+        mode, trains the predictor) exactly once.
+        """
+        uop = op.uop
+        outcome = self._branch_outcome.get(op.seq)
+        if outcome is None:
+            self.stats.branches += 1
+            if self.predictor is not None and self.params.use_real_predictor:
+                prediction = self.predictor.predict(uop.pc)
+                resolved_target = uop.target if uop.target is not None else uop.pc + 4
+                outcome = self.predictor.resolve(
+                    uop.pc, prediction, bool(uop.taken), resolved_target
+                )
+            else:
+                outcome = uop.mispredicted
+            if outcome:
+                self.stats.branch_mispredicts += 1
+            self._branch_outcome[op.seq] = outcome
+        op.mispredicted = outcome
+        if op.mispredicted:
+            self._waiting_branch = op
+            return True
+        return False
+
+    # -------------------------------------------------------------- recovery
+
+    def _recover(self, faulty: DynOp, now: int) -> None:
+        """Squash-and-replay from the verified state after a detection.
+
+        The checker's re-execution of ``faulty`` produced the correct
+        result (its operands were verified), so the op itself commits as
+        corrected; everything younger consumed — or may have consumed — the
+        corrupt value and is squashed and re-fetched.
+        """
+        faulty.faulty = False
+        faulty.corrected = True
+        faulty.checked = True
+        self.stats.checks_completed += 1
+        self.stats.recoveries += 1
+        while self._window and self._window[-1].seq > faulty.seq:
+            victim = self._window.pop()
+            victim.squashed = True
+            self.stats.squashed += 1
+            if victim.faulty:
+                self.stats.faults_squashed += 1
+        self._reg_producer.clear()
+        for op in self._window:
+            dest = op.uop.dest
+            if dest is not None and dest != REG_ZERO and op.uop.op is not OpClass.NOP:
+                self._reg_producer[dest] = op
+        if self.checker is not None:
+            self.checker.rebuild_after_squash(self._window)
+        self._fetch_index = faulty.seq + 1
+        self._waiting_branch = None
+        self._fetch_stall_until = now + self.params.checker.recovery_penalty

@@ -1,0 +1,49 @@
+"""Per-in-flight-instruction dynamic state.
+
+A :class:`DynOp` wraps one trace :class:`~repro.isa.instruction.MicroOp`
+for one trip through the pipeline.  Squash-and-replay creates a *fresh*
+DynOp for the re-fetched instance, so every timing field is written at most
+once per record and the trace stays immutable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import MicroOp
+
+
+@dataclass(slots=True)
+class DynOp:
+    """Dynamic execution record for one in-flight instruction.
+
+    Timing fields are ``None`` until the corresponding event happens.
+    ``deps`` holds direct references to the producing DynOps captured at
+    rename time; a dependency is satisfied once its producer's
+    ``complete_at`` has passed.
+    """
+
+    uop: MicroOp
+    seq: int
+    fetched_at: int
+    deps: tuple["DynOp", ...] = field(default=())
+    issued_at: int | None = None
+    complete_at: int | None = None
+    check_issued_at: int | None = None
+    check_complete_at: int | None = None
+    committed_at: int | None = None
+    checked: bool = False
+    squashed: bool = False
+    faulty: bool = False
+    fault_at: int | None = None
+    corrected: bool = False
+    mispredicted: bool = False
+    replays: int = 0
+
+    def deps_ready(self, now: int) -> bool:
+        """True if every source producer has a result by cycle ``now``."""
+        return all(d.complete_at is not None and d.complete_at <= now for d in self.deps)
+
+    def completed(self, now: int) -> bool:
+        """True once primary execution has produced a result by ``now``."""
+        return self.complete_at is not None and self.complete_at <= now

@@ -1,0 +1,78 @@
+"""Core configuration (Table 1 machine, 8-wide).
+
+``CoreParams`` captures everything about the pipeline shape; the memory
+system is configured separately through
+:class:`~repro.memory.hierarchy.HierarchyParams` and the checker through
+:class:`CheckerParams` so experiments can vary one axis at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.isa.opcodes import FUClass
+
+
+def _table1_fus() -> dict[FUClass, int]:
+    return {FUClass.IALU: 8, FUClass.IMUL: 2, FUClass.FALU: 2, FUClass.FMUL: 2}
+
+
+@dataclass(slots=True)
+class CheckerParams:
+    """Configuration of the shared-resource checker.
+
+    Attributes:
+        enabled: Run the in-order re-execution checker.
+        fault_rate: Per-instruction probability of corrupting a primary
+            execution result (register-writing ops only).
+        fault_seed: RNG seed for the injector (deterministic replays).
+        force_fault_seqs: Trace sequence numbers whose first primary issue
+            is always corrupted — used by tests to place faults precisely.
+        recovery_penalty: Cycles between detection and the restart of fetch
+            after a squash (checkpoint-restore cost).
+    """
+
+    enabled: bool = False
+    fault_rate: float = 0.0
+    fault_seed: int = 7
+    force_fault_seqs: frozenset[int] = frozenset()
+    recovery_penalty: int = 8
+
+
+@dataclass(slots=True)
+class CoreParams:
+    """Pipeline-shape parameters (defaults follow Table 1).
+
+    Attributes:
+        fetch_width / issue_width / commit_width: Per-cycle bandwidths of
+            the three in-order ends of the machine (8 each).
+        window_size: Bound on in-flight instructions (ROB/scheduler window).
+        fu_counts: Functional units per class (8 IALU, 2 IMUL, 2 FALU,
+            2 FMUL — divides share the multiply units).
+        mispredict_penalty: Fetch-redirect cycles after a mispredicted
+            branch resolves.
+        model_icache: Charge I-cache miss stalls on the fetch path.
+        use_real_predictor: Predict branches with the combining predictor
+            instead of honouring trace-supplied ``mispredicted`` flags.
+        record_retired: Keep every committed DynOp on ``core.retired`` so
+            tests can assert per-op timing (off by default — long runs).
+    """
+
+    fetch_width: int = 8
+    issue_width: int = 8
+    commit_width: int = 8
+    window_size: int = 128
+    fu_counts: Mapping[FUClass, int] = field(default_factory=_table1_fus)
+    mispredict_penalty: int = 3
+    model_icache: bool = True
+    use_real_predictor: bool = False
+    record_retired: bool = False
+    checker: CheckerParams = field(default_factory=CheckerParams)
+
+    def __post_init__(self) -> None:
+        for name in ("fetch_width", "issue_width", "commit_width", "window_size"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if any(count <= 0 for count in self.fu_counts.values()):
+            raise ValueError("every functional-unit count must be positive")

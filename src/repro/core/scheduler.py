@@ -1,0 +1,66 @@
+"""Functional-unit pool shared by primary execution and the checker.
+
+The pool tracks two things per cycle: how many issues each unit class has
+accepted this cycle (pipelined units accept one new op per unit per cycle)
+and which units are blocked across cycles by unpipelined divides.  Primary
+issue and checker issue draw from the *same* pool object within a cycle,
+which is exactly the resource sharing the paper exploits: the checker can
+only take what the primary stream left idle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.isa.opcodes import FU_CLASSES, FUClass
+
+
+class FUPool:
+    """Per-class functional-unit availability with unpipelined blocking."""
+
+    def __init__(self, counts: Mapping[FUClass, int]):
+        self._counts: dict[FUClass, int] = {cls: 0 for cls in FU_CLASSES}
+        self._counts.update(counts)
+        self._used: dict[FUClass, int] = {cls: 0 for cls in FU_CLASSES}
+        # busy-until cycles of units blocked by in-flight unpipelined ops
+        self._blocked: dict[FUClass, list[int]] = {cls: [] for cls in FU_CLASSES}
+        self._cycle = -1
+
+    def begin_cycle(self, now: int) -> None:
+        """Reset per-cycle issue counts and release finished unpipelined units."""
+        self._cycle = now
+        for cls in FU_CLASSES:
+            self._used[cls] = 0
+            blocked = self._blocked[cls]
+            if blocked:
+                self._blocked[cls] = [end for end in blocked if end > now]
+
+    def available(self, cls: FUClass) -> int:
+        """Units of ``cls`` that can still accept an op this cycle."""
+        return self._counts[cls] - self._used[cls] - len(self._blocked[cls])
+
+    def acquire(self, cls: FUClass, busy_until: int | None = None) -> None:
+        """Issue one op to a ``cls`` unit.
+
+        Args:
+            busy_until: For unpipelined ops, the completion cycle through
+                which the unit stays blocked; ``None`` for pipelined ops.
+
+        Raises:
+            RuntimeError: if no unit is available (callers must check
+                :meth:`available` first).
+        """
+        if self.available(cls) <= 0:
+            raise RuntimeError(f"no {cls.name} unit available at cycle {self._cycle}")
+        if busy_until is not None:
+            # The blocked entry covers the issue cycle too (busy_until is
+            # in the future), so counting it in _used as well would make
+            # one divide occupy two units this cycle.
+            self._blocked[cls].append(busy_until)
+        else:
+            self._used[cls] += 1
+
+    def utilization(self, classes: Iterable[FUClass] | None = None) -> dict[FUClass, int]:
+        """Current-cycle issues per class (for stats and tests)."""
+        wanted = tuple(classes) if classes is not None else FU_CLASSES
+        return {cls: self._used[cls] for cls in wanted}

@@ -1,0 +1,95 @@
+"""End-of-run statistics for one core simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class CoreStats:
+    """Counters accumulated over one :meth:`SuperscalarCore.run` call.
+
+    ``issue_width`` is recorded so slot rates can be derived without the
+    params object; ``memory`` is the hierarchy snapshot taken at run end.
+    """
+
+    issue_width: int = 8
+    cycles: int = 0
+    fetched: int = 0
+    committed: int = 0
+    squashed: int = 0
+    mem_replays: int = 0
+    branches: int = 0
+    branch_mispredicts: int = 0
+    primary_slots_used: int = 0
+    # --- checker ---
+    checks_completed: int = 0
+    checker_slots_used: int = 0
+    faults_injected: int = 0
+    faults_detected: int = 0
+    faults_squashed: int = 0
+    recoveries: int = 0
+    detection_latency_sum: int = 0
+    detection_latency_max: int = 0
+    memory: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        if not self.cycles:
+            return 0.0
+        return self.committed / self.cycles
+
+    @property
+    def slot_steal_rate(self) -> float:
+        """Fraction of all issue-slot-cycles consumed by the checker."""
+        total = self.cycles * self.issue_width
+        if not total:
+            return 0.0
+        return self.checker_slots_used / total
+
+    @property
+    def primary_slot_utilization(self) -> float:
+        """Fraction of issue-slot-cycles consumed by primary execution."""
+        total = self.cycles * self.issue_width
+        if not total:
+            return 0.0
+        return self.primary_slots_used / total
+
+    @property
+    def mean_detection_latency(self) -> float:
+        """Mean cycles from fault activation to checker detection."""
+        if not self.faults_detected:
+            return 0.0
+        return self.detection_latency_sum / self.faults_detected
+
+    @property
+    def mispredict_rate(self) -> float:
+        """Fraction of committed-path branches that were mispredicted."""
+        if not self.branches:
+            return 0.0
+        return self.branch_mispredicts / self.branches
+
+    def to_dict(self) -> dict[str, float]:
+        """Flatten counters and derived rates for reports."""
+        return {
+            "cycles": self.cycles,
+            "committed": self.committed,
+            "ipc": self.ipc,
+            "fetched": self.fetched,
+            "squashed": self.squashed,
+            "mem_replays": self.mem_replays,
+            "branches": self.branches,
+            "branch_mispredicts": self.branch_mispredicts,
+            "mispredict_rate": self.mispredict_rate,
+            "primary_slot_utilization": self.primary_slot_utilization,
+            "checks_completed": self.checks_completed,
+            "slot_steal_rate": self.slot_steal_rate,
+            "faults_injected": self.faults_injected,
+            "faults_detected": self.faults_detected,
+            "faults_squashed": self.faults_squashed,
+            "recoveries": self.recoveries,
+            "mean_detection_latency": self.mean_detection_latency,
+            "max_detection_latency": self.detection_latency_max,
+            **{f"mem_{key}": value for key, value in self.memory.items()},
+        }

@@ -11,6 +11,12 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.util import require_power_of_two
+
+#: Table 1 cache-line size, shared by every cache level and by the
+#: workload generator's hot-set / cold-miss address striding.
+LINE_BYTES = 64
+
 
 @dataclass(slots=True)
 class CacheStats:
@@ -51,9 +57,10 @@ class Cache:
         name: Label used in stats dumps.
     """
 
-    def __init__(self, size_bytes: int, ways: int, line_bytes: int = 64, name: str = "cache"):
-        if line_bytes <= 0 or line_bytes & (line_bytes - 1):
-            raise ValueError(f"line_bytes must be a power of two, got {line_bytes}")
+    def __init__(
+        self, size_bytes: int, ways: int, line_bytes: int = LINE_BYTES, name: str = "cache"
+    ):
+        require_power_of_two(line_bytes, "line_bytes")
         if size_bytes % (ways * line_bytes):
             raise ValueError(
                 f"{name}: size {size_bytes} not divisible by ways*line ({ways}*{line_bytes})"
@@ -61,9 +68,7 @@ class Cache:
         self.name = name
         self.line_bytes = line_bytes
         self.ways = ways
-        self.num_sets = size_bytes // (ways * line_bytes)
-        if self.num_sets & (self.num_sets - 1):
-            raise ValueError(f"{name}: set count must be a power of two, got {self.num_sets}")
+        self.num_sets = require_power_of_two(size_bytes // (ways * line_bytes), f"{name} set count")
         self._line_shift = line_bytes.bit_length() - 1
         self._set_mask = self.num_sets - 1
         # Each set maps line address -> dirty flag, in LRU order (oldest first).

@@ -1,0 +1,260 @@
+"""Timing-oriented memory hierarchy tying caches, MSHRs, and the bus together.
+
+The hierarchy answers the core's question "if this access issues at cycle
+``now``, when does its value arrive — and may it issue at all?".  Structural
+refusals (all data-cache ports busy this cycle, MSHR file full, merge-target
+overflow) come back as a non-OK :class:`AccessResult` and the core replays
+the access on a later cycle, exactly the throttle that bounds memory-level
+parallelism in the paper's experiments.
+
+State updates are *eager*: a miss installs its line immediately while the
+returned ready cycle carries the timing, which keeps the model single-pass
+and deterministic without an event queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.bus import MemoryBus
+from repro.memory.cache import LINE_BYTES, Cache, CacheStats
+from repro.memory.mshr import MSHRFile, MSHROutcome
+
+
+@dataclass(slots=True)
+class HierarchyParams:
+    """Table 1 memory-system configuration.
+
+    Attributes:
+        l1i_size / l1d_size: Split 64KB L1 instruction / data caches.
+        l1_ways: L1 associativity (2-way).
+        l1_latency: L1 hit latency in cycles (3).
+        l2_size / l2_ways / l2_latency: Unified 2MB 4-way L2, 12-cycle hits.
+        mem_latency: Main-memory access latency (200 cycles).
+        line_bytes: Cache line size everywhere (64 bytes).
+        dcache_ports: Data-cache ports shared by all loads/stores per cycle.
+        mshr_entries / mshr_targets: MSHR file bounds (32 entries, 8 targets).
+        bus_cycles_per_transfer: Line occupancy of the memory bus.
+    """
+
+    l1i_size: int = 64 * 1024
+    l1d_size: int = 64 * 1024
+    l1_ways: int = 2
+    l1_latency: int = 3
+    l2_size: int = 2 * 1024 * 1024
+    l2_ways: int = 4
+    l2_latency: int = 12
+    mem_latency: int = 200
+    line_bytes: int = LINE_BYTES
+    dcache_ports: int = 4
+    mshr_entries: int = 32
+    mshr_targets: int = 8
+    bus_cycles_per_transfer: int = 4
+
+
+@dataclass(slots=True)
+class AccessResult:
+    """Answer to one data access.
+
+    Attributes:
+        ok: False when the access could not issue this cycle and must be
+            replayed (see ``reason``).
+        ready_at: Cycle the value is available (meaningless when not ok).
+        level: Hierarchy level that serviced the access: ``"l1"``, ``"l2"``,
+            ``"mem"``, or ``"mshr"`` for a hit on an in-flight miss.
+        reason: Refusal reason when not ok: ``"port"``, ``"mshr"``, or
+            ``"mshr_target"``.
+    """
+
+    ok: bool
+    ready_at: int = 0
+    level: str = "l1"
+    reason: str | None = None
+
+
+@dataclass(slots=True)
+class HierarchyStats:
+    """Aggregate counters the caches/MSHR/bus do not track themselves."""
+
+    port_conflicts: int = 0
+    ifetch_misses: int = 0
+    accesses: dict[str, int] = field(
+        default_factory=lambda: {"l1": 0, "l2": 0, "mem": 0, "mshr": 0}
+    )
+
+
+class MemoryHierarchy:
+    """Split L1 I/D + unified L2 + bandwidth-limited main memory.
+
+    The data path enforces per-cycle port limits and MSHR bounds; the
+    instruction path models miss timing only (fetch is one access per
+    cycle per group, so I-cache ports are never the bottleneck here).
+    """
+
+    def __init__(self, params: HierarchyParams | None = None):
+        self.params = params or HierarchyParams()
+        p = self.params
+        self.l1i = Cache(p.l1i_size, p.l1_ways, p.line_bytes, name="l1i")
+        self.l1d = Cache(p.l1d_size, p.l1_ways, p.line_bytes, name="l1d")
+        self.l2 = Cache(p.l2_size, p.l2_ways, p.line_bytes, name="l2")
+        self.mshrs = MSHRFile(entries=p.mshr_entries, targets_per_entry=p.mshr_targets)
+        self.bus = MemoryBus(cycles_per_transfer=p.bus_cycles_per_transfer)
+        self.stats = HierarchyStats()
+        self._port_cycle = -1
+        self._ports_used = 0
+        # line -> [ready_at, byte_addr, dirty]; L1D fills are applied only
+        # once the miss response arrives, so accesses in the shadow of an
+        # outstanding miss merge at the MSHRs instead of hitting early.
+        self._pending_fills: dict[int, list] = {}
+
+    def _drain_fills(self, now: int) -> None:
+        if not self._pending_fills:
+            return
+        arrived = [line for line, (ready, _, _) in self._pending_fills.items() if ready <= now]
+        for line in arrived:
+            _, addr, dirty = self._pending_fills.pop(line)
+            evicted = self.l1d.fill(addr, dirty=dirty)
+            if evicted is not None and evicted.dirty:
+                self._fill_l2(evicted.line_addr * self.l1d.line_bytes, now, dirty=True)
+
+    # ------------------------------------------------------------------ ports
+
+    def ports_free(self, now: int) -> int:
+        """Data-cache ports still available at cycle ``now``."""
+        if now != self._port_cycle:
+            return self.params.dcache_ports
+        return self.params.dcache_ports - self._ports_used
+
+    def _take_port(self, now: int) -> bool:
+        if now != self._port_cycle:
+            self._port_cycle = now
+            self._ports_used = 0
+        if self._ports_used >= self.params.dcache_ports:
+            self.stats.port_conflicts += 1
+            return False
+        self._ports_used += 1
+        return True
+
+    # ------------------------------------------------------------- data path
+
+    def access(self, addr: int, now: int, is_store: bool = False) -> AccessResult:
+        """Issue a load/store to byte ``addr`` at cycle ``now``.
+
+        Hits cost the L1 latency.  Misses consult the MSHR file: a hit on an
+        in-flight miss merges (``level == "mshr"``); otherwise a fresh MSHR
+        is allocated and the line fetched from L2 or memory, installing it
+        into both levels.  Refusals (``ok=False``) consume no port.
+        """
+        p = self.params
+        self._drain_fills(now)
+        if not self._take_port(now):
+            return AccessResult(ok=False, reason="port")
+        if self.l1d.lookup(addr, is_store=is_store):
+            self.stats.accesses["l1"] += 1
+            return AccessResult(ok=True, ready_at=now + p.l1_latency, level="l1")
+
+        line = self.l1d.line_addr(addr)
+        in_flight = self.mshrs.lookup(line, now)
+        if in_flight is not None:
+            outcome, ready = self.mshrs.request(line, now, in_flight)
+            if outcome is MSHROutcome.MERGED:
+                if is_store and line in self._pending_fills:
+                    self._pending_fills[line][2] = True
+                self.stats.accesses["mshr"] += 1
+                # Merging never beats an L1 hit: data arriving with the fill
+                # still crosses the L1 access path.
+                return AccessResult(
+                    ok=True, ready_at=max(ready, now + p.l1_latency), level="mshr"
+                )
+            # Refused accesses do not hold their port, and their replay next
+            # cycle would otherwise inflate the miss count once per retry.
+            self._ports_used -= 1
+            self.l1d.stats.misses -= 1
+            return AccessResult(ok=False, reason="mshr_target")
+        if self.mshrs.outstanding(now) >= self.mshrs.entries:
+            self.mshrs.request(line, now, now)  # records the full stall
+            self._ports_used -= 1
+            self.l1d.stats.misses -= 1
+            return AccessResult(ok=False, reason="mshr")
+
+        ready, level = self._fetch_line(addr, now)
+        self.mshrs.request(line, now, ready)
+        self._pending_fills[line] = [ready, addr, is_store]
+        self.stats.accesses[level] += 1
+        return AccessResult(ok=True, ready_at=ready, level=level)
+
+    def _fetch_line(self, addr: int, now: int) -> tuple[int, str]:
+        """Bring ``addr``'s line from L2 or memory; returns (ready, level)."""
+        p = self.params
+        if self.l2.lookup(addr):
+            return now + p.l1_latency + p.l2_latency, "l2"
+        start = self.bus.schedule(now + p.l1_latency + p.l2_latency)
+        self._fill_l2(addr, start)
+        return start + p.mem_latency, "mem"
+
+    # ------------------------------------------------------ instruction path
+
+    #: Sequential lines brought in behind every fetch-group access.  The
+    #: stream buffer is modelled as ideal (prefetches complete before the
+    #: demand access that would need them), so only discontinuous fetches —
+    #: the first access and branch targets beyond the prefetch distance —
+    #: can stall the front end.
+    IFETCH_PREFETCH_LINES = 4
+
+    def ifetch(self, pc: int, now: int) -> AccessResult:
+        """Fetch-group access to the I-cache at ``pc``.
+
+        Hits are free from the core's point of view (fetch is pipelined);
+        the core stalls only on the returned ready cycle of a miss.
+        """
+        p = self.params
+        if self.l1i.lookup(pc):
+            result = AccessResult(ok=True, ready_at=now, level="l1")
+        else:
+            self.stats.ifetch_misses += 1
+            ready, level = self._fetch_line(pc, now)
+            self.l1i.fill(pc)
+            result = AccessResult(ok=True, ready_at=ready, level=level)
+        for ahead in range(1, self.IFETCH_PREFETCH_LINES + 1):
+            next_pc = pc + ahead * p.line_bytes
+            if not self.l1i.contains(next_pc):
+                if not self.l2.contains(next_pc):
+                    start = self.bus.schedule(now)  # prefetches consume bandwidth
+                    self._fill_l2(next_pc, start)
+                self.l1i.fill(next_pc)
+        return result
+
+    def _fill_l2(self, addr: int, now: int, dirty: bool = False) -> None:
+        """Install a line into L2, charging the bus for any dirty victim."""
+        evicted = self.l2.fill(addr, dirty=dirty)
+        if evicted is not None and evicted.dirty:
+            self.bus.schedule(now)
+
+    # ----------------------------------------------------------------- admin
+
+    def reset(self) -> None:
+        """Drop all cached state and counters (between independent runs)."""
+        for cache in (self.l1i, self.l1d, self.l2):
+            cache.invalidate_all()
+            cache.stats = CacheStats()
+        self.mshrs.reset()
+        self.bus.reset()
+        self.stats = HierarchyStats()
+        self._port_cycle = -1
+        self._ports_used = 0
+        self._pending_fills.clear()
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat stats dict for reports."""
+        return {
+            "l1d_miss_rate": self.l1d.stats.miss_rate,
+            "l1d_accesses": self.l1d.stats.accesses,
+            "l2_miss_rate": self.l2.stats.miss_rate,
+            "writebacks": self.l1d.stats.writebacks + self.l2.stats.writebacks,
+            "mshr_merges": self.mshrs.merges,
+            "mshr_full_stalls": self.mshrs.full_stalls,
+            "port_conflicts": self.stats.port_conflicts,
+            "bus_transfers": self.bus.transfers,
+            "bus_avg_queue_delay": self.bus.average_queue_delay,
+            "ifetch_misses": self.stats.ifetch_misses,
+        }

@@ -88,3 +88,11 @@ class MSHRFile:
     def flush(self) -> None:
         """Drop all in-flight state (between independent regions)."""
         self._misses.clear()
+
+    def reset(self) -> None:
+        """Drop in-flight state *and* counters (between independent runs)."""
+        self.flush()
+        self.allocations = 0
+        self.merges = 0
+        self.full_stalls = 0
+        self.target_stalls = 0

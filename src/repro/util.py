@@ -1,0 +1,18 @@
+"""Small helpers shared across the simulator packages."""
+
+from __future__ import annotations
+
+
+def require_power_of_two(value: int, name: str) -> int:
+    """Return ``value`` after checking it is a positive power of two.
+
+    All table and set geometries in the simulator are indexed with masks,
+    so every size must satisfy this; centralising the guard keeps the
+    error message uniform.
+
+    Raises:
+        ValueError: if ``value`` is not a positive power of two.
+    """
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{name} must be a positive power of two, got {value}")
+    return value

@@ -1,0 +1,18 @@
+"""Synthetic workload generation.
+
+The paper controls its experiments through benchmark selection; here the
+same axes — op mix, ILP, cache behaviour, branch behaviour — are explicit
+profile knobs, and four presets (``int-heavy``, ``fp-heavy``,
+``memory-bound``, ``branchy``) cover the qualitative regimes.
+"""
+
+from repro.workloads.profiles import PRESETS, WorkloadProfile, preset
+from repro.workloads.synthetic import TraceGenerator, generate
+
+__all__ = [
+    "PRESETS",
+    "TraceGenerator",
+    "WorkloadProfile",
+    "generate",
+    "preset",
+]

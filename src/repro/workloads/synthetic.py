@@ -1,0 +1,164 @@
+"""Synthetic micro-op trace generator.
+
+Generation is two-phase, like a real program: a **static program** of
+``profile.loop_ops`` micro-op slots (fixed op class, registers, PC, and —
+for branches — a periodic outcome pattern and a stable target) is built
+once, then the trace is emitted by iterating over that program as one big
+loop and instantiating the *dynamic* parts of each slot: the branch
+outcome for this iteration (its slot's period, plus ``outcome_noise``
+pattern breaks), mispredict flags, and memory addresses.  Re-visiting the
+same branch PCs with learnable periodic outcomes and stable targets is
+what makes the real-predictor front end trainable; never-repeating PCs or
+i.i.d. outcomes would reduce the combining predictor to cold-start noise.
+
+Traces are pure functions of ``(profile, num_ops, seed)``: one private
+:class:`random.Random` instance drives both phases, so identical inputs
+give identical traces — the determinism the experiment harness and the
+test suite both rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+
+from repro.isa.instruction import MicroOp
+from repro.isa.opcodes import OpClass, is_fp
+from repro.isa.registers import NUM_FP_REGS, NUM_INT_REGS, REG_ZERO, fp_reg, int_reg
+from repro.memory.cache import LINE_BYTES as _LINE_BYTES
+from repro.workloads.profiles import WorkloadProfile
+
+_HOT_BASE = 0x1000_0000
+_COLD_BASE = 0x8000_0000
+_CODE_BASE = 0x0040_0000
+
+#: Periods assigned to static branches.  Outcomes are periodic — a
+#: loop-like branch is taken except on every ``period``-th instance (a
+#: loop back-edge that falls through on exit), a skip-like branch inverts
+#: that — so history predictors can genuinely learn them: the PAs local
+#: history (12 bits) covers any period in this range, and training a
+#: period-p pattern needs only ~2p recurrences of the branch.
+_MIN_PERIOD = 3
+_MAX_PERIOD = 8
+
+
+@dataclass(slots=True)
+class _StaticOp:
+    """One slot of the static program (the per-instance fields are drawn
+    at emission time)."""
+
+    op: OpClass
+    pc: int
+    dest: int | None = None
+    srcs: tuple[int, ...] = ()
+    period: int = 0
+    loop_like: bool = True
+    target: int | None = None
+
+
+class TraceGenerator:
+    """Stateful generator for one trace (one RNG, one static program)."""
+
+    def __init__(self, profile: WorkloadProfile, seed: int = 0):
+        self.profile = profile
+        self._rng = random.Random(seed)
+        self._ops = tuple(profile.mix.keys())
+        self._weights = tuple(profile.mix.values())
+        self._recent_int: deque[int] = deque(maxlen=profile.dep_window)
+        self._recent_fp: deque[int] = deque(maxlen=profile.dep_window)
+        self._cold_ptr = _COLD_BASE
+        self._program = [self._build_static(i) for i in range(profile.loop_ops)]
+        self._index = 0
+
+    # -------------------------------------------------------- static program
+
+    def _pick_src(self, fp: bool) -> int:
+        recent = self._recent_fp if fp else self._recent_int
+        if recent and self._rng.random() < self.profile.dep_fraction:
+            return self._rng.choice(tuple(recent))
+        return REG_ZERO  # architecturally ready, creates no dependency
+
+    def _pick_dest(self, fp: bool) -> int:
+        if fp:
+            dest = fp_reg(self._rng.randrange(NUM_FP_REGS))
+            self._recent_fp.append(dest)
+        else:
+            dest = int_reg(self._rng.randrange(1, NUM_INT_REGS))  # never r0
+            self._recent_int.append(dest)
+        return dest
+
+    def _build_static(self, slot: int) -> _StaticOp:
+        op = self._rng.choices(self._ops, weights=self._weights)[0]
+        pc = _CODE_BASE + 4 * slot
+        if op is OpClass.NOP:
+            return _StaticOp(op=op, pc=pc)
+        if op is OpClass.BRANCH:
+            return _StaticOp(
+                op=op,
+                pc=pc,
+                srcs=(self._pick_src(fp=False),),
+                period=self._rng.randint(_MIN_PERIOD, _MAX_PERIOD),
+                loop_like=self._rng.random() < self.profile.taken_rate,
+                target=pc + 4 * self._rng.randint(2, 64),
+            )
+        if op is OpClass.LOAD:
+            return _StaticOp(
+                op=op, pc=pc, dest=self._pick_dest(fp=False), srcs=(self._pick_src(fp=False),)
+            )
+        if op is OpClass.STORE:
+            return _StaticOp(
+                op=op,
+                pc=pc,
+                srcs=(self._pick_src(fp=False), self._pick_src(fp=False)),
+            )
+        fp = is_fp(op)
+        srcs = (self._pick_src(fp), self._pick_src(fp))
+        return _StaticOp(op=op, pc=pc, dest=self._pick_dest(fp), srcs=srcs)
+
+    # ------------------------------------------------------ dynamic instances
+
+    def _pick_addr(self) -> int:
+        if self._rng.random() < self.profile.cold_fraction:
+            addr = self._cold_ptr
+            self._cold_ptr += _LINE_BYTES  # fresh line: compulsory miss
+            return addr
+        return _HOT_BASE + _LINE_BYTES * self._rng.randrange(self.profile.hot_lines)
+
+    def next_op(self) -> MicroOp:
+        """Instantiate the next dynamic micro-op of the looped program."""
+        static = self._program[self._index % len(self._program)]
+        iteration = self._index // len(self._program)
+        self._index += 1
+        if static.op is OpClass.NOP:
+            return MicroOp(op=static.op, pc=static.pc)
+        if static.op is OpClass.BRANCH:
+            on_period = iteration % static.period == static.period - 1
+            taken = (not on_period) if static.loop_like else on_period
+            if self._rng.random() < self.profile.outcome_noise:
+                taken = not taken  # data-dependent break from the pattern
+            return MicroOp(
+                op=static.op,
+                srcs=static.srcs,
+                pc=static.pc,
+                taken=taken,
+                target=static.target if taken else None,
+                mispredicted=self._rng.random() < self.profile.mispredict_rate,
+            )
+        if static.op is OpClass.LOAD or static.op is OpClass.STORE:
+            return MicroOp(
+                op=static.op,
+                dest=static.dest,
+                srcs=static.srcs,
+                pc=static.pc,
+                addr=self._pick_addr(),
+            )
+        return MicroOp(op=static.op, dest=static.dest, srcs=static.srcs, pc=static.pc)
+
+
+def generate(profile: WorkloadProfile, num_ops: int, seed: int = 0) -> list[MicroOp]:
+    """Generate a deterministic trace of ``num_ops`` micro-ops."""
+    if num_ops < 0:
+        raise ValueError(f"num_ops must be non-negative, got {num_ops}")
+    generator = TraceGenerator(profile, seed=seed)
+    return [generator.next_op() for _ in range(num_ops)]

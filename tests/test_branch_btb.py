@@ -1,0 +1,55 @@
+"""Branch target buffer: hits, misses, and LRU replacement."""
+
+import pytest
+
+from repro.branch.btb import BranchTargetBuffer
+
+
+def _pcs_in_same_set(btb_sets: int, count: int) -> list[int]:
+    """PCs that all map to BTB set 0 (index = (pc >> 2) & (sets - 1))."""
+    return [(btb_sets << 2) * i for i in range(count)]
+
+
+def test_miss_then_hit_after_update():
+    btb = BranchTargetBuffer(entries=64, ways=4)
+    assert btb.lookup(0x100) is None
+    btb.update(0x100, 0x2000)
+    assert btb.lookup(0x100) == 0x2000
+    assert btb.hits == 1 and btb.misses == 1
+
+
+def test_lru_evicts_least_recently_used_way():
+    btb = BranchTargetBuffer(entries=16, ways=2)
+    pc_a, pc_b, pc_c = _pcs_in_same_set(8, 3)
+    btb.update(pc_a, 0xA)
+    btb.update(pc_b, 0xB)
+    assert btb.lookup(pc_a) == 0xA  # touch A: B becomes LRU
+    btb.update(pc_c, 0xC)  # evicts B
+    assert btb.lookup(pc_b) is None
+    assert btb.lookup(pc_a) == 0xA
+    assert btb.lookup(pc_c) == 0xC
+
+
+def test_update_refreshes_existing_entry_without_eviction():
+    btb = BranchTargetBuffer(entries=16, ways=2)
+    pc_a, pc_b, pc_c = _pcs_in_same_set(8, 3)
+    btb.update(pc_a, 0xA)
+    btb.update(pc_b, 0xB)
+    btb.update(pc_a, 0xAA)  # refresh A: B becomes LRU
+    btb.update(pc_c, 0xC)  # evicts B, not A
+    assert btb.lookup(pc_a) == 0xAA
+    assert btb.lookup(pc_b) is None
+
+
+def test_distinct_sets_do_not_interfere():
+    btb = BranchTargetBuffer(entries=16, ways=2)
+    btb.update(0x0, 0x111)
+    btb.update(0x4, 0x222)  # different set index
+    assert btb.lookup(0x0) == 0x111
+    assert btb.lookup(0x4) == 0x222
+
+
+@pytest.mark.parametrize("entries,ways", [(0, 4), (16, 0), (10, 4), (24, 4)])
+def test_rejects_bad_geometry(entries, ways):
+    with pytest.raises(ValueError):
+        BranchTargetBuffer(entries=entries, ways=ways)

@@ -1,0 +1,68 @@
+"""GShare: PHT training and global-history index mixing."""
+
+import pytest
+
+from repro.branch.gshare import GShare
+
+
+def test_trains_to_predict_biased_branch():
+    predictor = GShare(entries=1024)
+    pc = 0x4000
+    # An always-taken branch saturates the history register to all-ones,
+    # after which every update trains the same (stable) PHT entry.
+    for _ in range(16):
+        predictor.update(pc, True)
+    assert predictor.predict(pc) is True
+
+
+def test_history_shifts_in_outcomes_lsb_first():
+    predictor = GShare(entries=1024, history_bits=4)
+    for taken in (True, False, True, True):
+        predictor.update(0x100, taken)
+    assert predictor.history == 0b1011
+
+
+def test_history_register_is_bounded():
+    predictor = GShare(entries=256, history_bits=2)
+    for _ in range(10):
+        predictor.update(0x100, True)
+    assert predictor.history == 0b11
+
+
+def test_same_pc_with_different_history_uses_different_entries():
+    """The XOR mixing lets one PC hold opposite predictions per history."""
+    predictor = GShare(entries=1024, history_bits=4)
+    pc = 0x40
+
+    # Build history A = 0b0001 by updating a *different* PC, then train
+    # `pc` strongly taken under it.
+    def set_history(bits):
+        for taken in bits:
+            predictor.update(0x8000, taken)
+
+    set_history([False, False, False, True])
+    history_a = predictor.history
+    for _ in range(2):
+        predictor.update(pc, True)
+        set_history([False, False, False, True])
+    assert predictor.history == history_a
+    assert predictor.predict(pc) is True
+
+    # Under a different history the same PC still has its untrained default.
+    set_history([True, True, True, False])
+    assert predictor.history != history_a
+    assert predictor.predict(pc) is False
+
+
+def test_zero_history_bits_degenerates_to_bimodal():
+    predictor = GShare(entries=64, history_bits=0)
+    predictor.update(0x10, True)
+    predictor.update(0x10, True)
+    assert predictor.history == 0
+    assert predictor.predict(0x10) is True
+
+
+@pytest.mark.parametrize("entries", [0, 100])
+def test_rejects_bad_table_sizes(entries):
+    with pytest.raises(ValueError):
+        GShare(entries=entries)

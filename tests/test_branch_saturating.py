@@ -1,0 +1,66 @@
+"""Saturating-counter behaviour: training, saturation, table allocation."""
+
+import pytest
+
+from repro.branch.saturating import SaturatingCounter, counter_table
+
+
+def test_initial_state_is_weakly_not_taken():
+    counter = SaturatingCounter(bits=2)
+    assert counter.value == 1
+    assert counter.predict() is False
+
+
+def test_training_toward_taken_saturates_at_max():
+    counter = SaturatingCounter(bits=2)
+    for _ in range(10):
+        counter.update(True)
+    assert counter.value == 3
+    assert counter.predict() is True
+
+
+def test_training_toward_not_taken_saturates_at_zero():
+    counter = SaturatingCounter(bits=2, initial=3)
+    for _ in range(10):
+        counter.update(False)
+    assert counter.value == 0
+    assert counter.predict() is False
+
+
+def test_hysteresis_one_bad_outcome_does_not_flip_strong_state():
+    counter = SaturatingCounter(bits=2, initial=3)
+    counter.update(False)  # strongly -> weakly taken
+    assert counter.predict() is True
+    counter.update(False)  # weakly taken -> weakly not-taken
+    assert counter.predict() is False
+
+
+def test_wider_counter_needs_more_training_to_flip():
+    counter = SaturatingCounter(bits=3)  # initial 3, taken threshold > 3
+    counter.update(True)
+    assert counter.predict() is True
+    for _ in range(2):
+        counter.update(False)
+    assert counter.predict() is False
+
+
+@pytest.mark.parametrize("bad_bits", [0, -1])
+def test_rejects_non_positive_bit_width(bad_bits):
+    with pytest.raises(ValueError):
+        SaturatingCounter(bits=bad_bits)
+
+
+def test_rejects_out_of_range_initial():
+    with pytest.raises(ValueError):
+        SaturatingCounter(bits=2, initial=4)
+
+
+def test_counter_table_initialised_weakly_not_taken():
+    table = counter_table(8, bits=2)
+    assert table == [1] * 8
+
+
+@pytest.mark.parametrize("entries", [0, 3, 12])
+def test_counter_table_rejects_non_power_of_two(entries):
+    with pytest.raises(ValueError):
+        counter_table(entries)

@@ -1,0 +1,46 @@
+"""Two-level PAs predictor: local histories drive the second level."""
+
+import pytest
+
+from repro.branch.twolevel import TwoLevelPAs
+
+
+def test_learns_strongly_biased_branch():
+    predictor = TwoLevelPAs(l1_entries=64, l2_entries=256)
+    pc = 0x200
+    for _ in range(8):
+        predictor.update(pc, True)
+    assert predictor.predict(pc) is True
+
+
+def test_learns_alternating_pattern_via_local_history():
+    """After warm-up, a strict T/N alternation is predicted perfectly."""
+    predictor = TwoLevelPAs(l1_entries=64, l2_entries=4096)
+    pc = 0x300
+    outcome = True
+    for _ in range(64):  # train both history contexts
+        predictor.update(pc, outcome)
+        outcome = not outcome
+    hits = 0
+    for _ in range(20):
+        if predictor.predict(pc) == outcome:
+            hits += 1
+        predictor.update(pc, outcome)
+        outcome = not outcome
+    assert hits == 20
+
+
+def test_branches_keep_separate_local_histories():
+    predictor = TwoLevelPAs(l1_entries=64, l2_entries=256)
+    always, never = 0x40, 0x44
+    for _ in range(8):
+        predictor.update(always, True)
+        predictor.update(never, False)
+    assert predictor.predict(always) is True
+    assert predictor.predict(never) is False
+
+
+@pytest.mark.parametrize("l1,l2", [(0, 256), (64, 0), (3, 256), (64, 100)])
+def test_rejects_bad_table_sizes(l1, l2):
+    with pytest.raises(ValueError):
+        TwoLevelPAs(l1_entries=l1, l2_entries=l2)

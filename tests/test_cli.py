@@ -1,0 +1,79 @@
+"""CLI runner: end-to-end experiments and report formats."""
+
+import json
+
+import pytest
+
+from repro.cli import main, run_experiment
+from repro.workloads import preset
+
+
+def test_json_report_checked_vs_unchecked(capsys):
+    exit_code = main(
+        [
+            "--preset",
+            "int-heavy",
+            "--ops",
+            "1200",
+            "--check",
+            "--fault-rate",
+            "0.01",
+            "--json",
+        ]
+    )
+    assert exit_code == 0
+    result = json.loads(capsys.readouterr().out)
+    assert result["preset"] == "int-heavy"
+    unchecked, checked = result["unchecked"], result["checked"]
+    assert checked["ipc"] <= unchecked["ipc"]
+    assert result["slowdown"] >= 1.0
+    assert checked["faults_injected"] > 0
+    assert (
+        checked["faults_detected"] + checked["faults_squashed"]
+        == checked["faults_injected"]
+    )
+
+
+def test_human_report_mentions_key_metrics(capsys):
+    main(["--preset", "branchy", "--ops", "400", "--check"])
+    out = capsys.readouterr().out
+    assert "unchecked:" in out and "checked:" in out
+    assert "slot-steal" in out and "slowdown:" in out
+
+
+def test_all_presets_runs_every_scenario(capsys):
+    exit_code = main(["--all-presets", "--ops", "200", "--json"])
+    assert exit_code == 0
+    results = json.loads(capsys.readouterr().out)
+    assert sorted(entry["preset"] for entry in results) == [
+        "branchy",
+        "fp-heavy",
+        "int-heavy",
+        "memory-bound",
+    ]
+    assert all("checked" not in entry for entry in results)  # no --check
+
+
+def test_real_predictor_mode_runs(capsys):
+    exit_code = main(["--preset", "branchy", "--ops", "400", "--real-predictor"])
+    assert exit_code == 0
+    assert "unchecked:" in capsys.readouterr().out
+
+
+def test_unknown_preset_is_an_argparse_error():
+    with pytest.raises(SystemExit):
+        main(["--preset", "definitely-not-real"])
+
+
+def test_empty_trace_emits_valid_json_with_null_slowdown(capsys):
+    exit_code = main(["--preset", "int-heavy", "--ops", "0", "--check", "--json"])
+    assert exit_code == 0
+    result = json.loads(capsys.readouterr().out)  # Infinity would not parse
+    assert result["slowdown"] is None
+
+
+def test_run_experiment_returns_slowdown_only_when_checked():
+    result = run_experiment(preset("int-heavy"), num_ops=300, check=False)
+    assert "checked" not in result and "slowdown" not in result
+    result = run_experiment(preset("int-heavy"), num_ops=300, check=True, fault_rate=0.0)
+    assert result["slowdown"] > 0

@@ -1,0 +1,59 @@
+"""Fault injector: eligibility, forcing, and validation."""
+
+import pytest
+
+from repro.core.dynop import DynOp
+from repro.core.faults import FaultInjector
+from repro.isa import MicroOp, OpClass
+
+
+def dynop(uop: MicroOp, seq: int = 0) -> DynOp:
+    op = DynOp(uop=uop, seq=seq, fetched_at=0)
+    op.complete_at = 10
+    return op
+
+
+def test_forced_seq_is_injected_exactly_once():
+    injector = FaultInjector(rate=0.0, force_seqs=frozenset({3}))
+    op = dynop(MicroOp(op=OpClass.IALU, dest=1), seq=3)
+    assert injector.maybe_inject(op) is True
+    assert op.faulty and op.fault_at == 10
+    # A refetched instance of the same seq is not re-corrupted.
+    fresh = dynop(MicroOp(op=OpClass.IALU, dest=1), seq=3)
+    assert injector.maybe_inject(fresh) is False
+    assert injector.injected == 1
+
+
+def test_only_register_writing_ops_are_eligible():
+    injector = FaultInjector(rate=1.0)
+    store = dynop(MicroOp(op=OpClass.STORE, srcs=(1, 2), addr=0x40))
+    branch = dynop(MicroOp(op=OpClass.BRANCH, srcs=(1,), taken=True, target=0x80))
+    assert injector.maybe_inject(store) is False
+    assert injector.maybe_inject(branch) is False
+    assert injector.injected == 0
+
+
+def test_rate_one_always_injects_on_eligible_ops():
+    injector = FaultInjector(rate=1.0)
+    op = dynop(MicroOp(op=OpClass.FMUL, dest=33, srcs=(32,)))
+    assert injector.maybe_inject(op) is True
+
+
+def test_same_seed_gives_same_injection_sequence():
+    outcomes = []
+    for _ in range(2):
+        injector = FaultInjector(rate=0.5, seed=123)
+        outcomes.append(
+            [
+                injector.maybe_inject(dynop(MicroOp(op=OpClass.IALU, dest=1), seq=i))
+                for i in range(32)
+            ]
+        )
+    assert outcomes[0] == outcomes[1]
+    assert any(outcomes[0]) and not all(outcomes[0])
+
+
+@pytest.mark.parametrize("rate", [-0.1, 1.5])
+def test_rejects_out_of_range_rate(rate):
+    with pytest.raises(ValueError):
+        FaultInjector(rate=rate)

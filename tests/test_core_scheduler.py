@@ -1,0 +1,60 @@
+"""FU pool: per-cycle issue limits and unpipelined blocking."""
+
+import pytest
+
+from repro.core.scheduler import FUPool
+from repro.isa.opcodes import FUClass
+
+
+def test_pipelined_units_accept_one_issue_per_unit_per_cycle():
+    pool = FUPool({FUClass.IALU: 2, FUClass.IMUL: 1, FUClass.FALU: 1, FUClass.FMUL: 1})
+    pool.begin_cycle(0)
+    assert pool.available(FUClass.IALU) == 2
+    pool.acquire(FUClass.IALU)
+    pool.acquire(FUClass.IALU)
+    assert pool.available(FUClass.IALU) == 0
+    pool.begin_cycle(1)
+    assert pool.available(FUClass.IALU) == 2
+
+
+def test_unpipelined_op_blocks_unit_across_cycles():
+    pool = FUPool({FUClass.IALU: 1, FUClass.IMUL: 1, FUClass.FALU: 1, FUClass.FMUL: 1})
+    pool.begin_cycle(0)
+    pool.acquire(FUClass.IMUL, busy_until=19)
+    pool.begin_cycle(5)
+    assert pool.available(FUClass.IMUL) == 0
+    pool.begin_cycle(19)  # busy_until <= now releases the unit
+    assert pool.available(FUClass.IMUL) == 1
+
+
+def test_unpipelined_op_occupies_exactly_one_unit_in_its_issue_cycle():
+    """Two divides co-issue on a two-unit class, and a pipelined op can
+    still use the second unit alongside one divide."""
+    pool = FUPool({FUClass.IALU: 1, FUClass.IMUL: 1, FUClass.FALU: 1, FUClass.FMUL: 2})
+    pool.begin_cycle(0)
+    pool.acquire(FUClass.FMUL, busy_until=12)
+    assert pool.available(FUClass.FMUL) == 1
+    pool.acquire(FUClass.FMUL, busy_until=12)
+    assert pool.available(FUClass.FMUL) == 0
+    pool.begin_cycle(1)
+    assert pool.available(FUClass.FMUL) == 0  # both still blocked
+    pool.begin_cycle(12)
+    assert pool.available(FUClass.FMUL) == 2
+
+
+def test_acquire_without_availability_raises():
+    pool = FUPool({FUClass.IALU: 1, FUClass.IMUL: 1, FUClass.FALU: 1, FUClass.FMUL: 1})
+    pool.begin_cycle(0)
+    pool.acquire(FUClass.IALU)
+    with pytest.raises(RuntimeError):
+        pool.acquire(FUClass.IALU)
+
+
+def test_utilization_reports_current_cycle_issues():
+    pool = FUPool({FUClass.IALU: 4, FUClass.IMUL: 2, FUClass.FALU: 2, FUClass.FMUL: 2})
+    pool.begin_cycle(0)
+    pool.acquire(FUClass.IALU)
+    pool.acquire(FUClass.IALU)
+    pool.acquire(FUClass.FMUL)
+    used = pool.utilization()
+    assert used[FUClass.IALU] == 2 and used[FUClass.FMUL] == 1 and used[FUClass.IMUL] == 0

@@ -1,0 +1,112 @@
+"""ISA tables, MicroOp predicates, and the assembly-style formatter."""
+
+import pytest
+
+from repro.isa import (
+    FU_CLASSES,
+    MicroOp,
+    OpClass,
+    default_latencies,
+    format_microop,
+    fp_reg,
+    fu_class_for,
+    int_reg,
+    is_branch,
+    is_fp,
+    is_fp_reg,
+    is_long_latency,
+    is_mem,
+    reg_name,
+)
+from repro.isa.opcodes import FUClass
+
+
+def test_divides_share_the_multiply_units():
+    assert fu_class_for(OpClass.IDIV) is FUClass.IMUL
+    assert fu_class_for(OpClass.FDIV) is FUClass.FMUL
+
+
+def test_mem_and_branch_ops_use_integer_alus():
+    for op in (OpClass.LOAD, OpClass.STORE, OpClass.BRANCH):
+        assert fu_class_for(op) is FUClass.IALU
+
+
+def test_every_op_class_maps_to_a_known_fu_class():
+    for op in OpClass:
+        assert fu_class_for(op) in FU_CLASSES
+
+
+def test_table1_latencies():
+    latencies = default_latencies()
+    assert latencies[OpClass.IALU] == 1
+    assert latencies[OpClass.IMUL] == 3
+    assert latencies[OpClass.IDIV] == 19
+    assert latencies[OpClass.FALU] == 2
+    assert latencies[OpClass.FMUL] == 4
+    assert latencies[OpClass.FDIV] == 12
+
+
+def test_default_latencies_returns_a_fresh_copy():
+    latencies = default_latencies()
+    latencies[OpClass.IALU] = 99
+    assert default_latencies()[OpClass.IALU] == 1
+
+
+def test_op_class_predicates():
+    assert is_fp(OpClass.FMUL) and not is_fp(OpClass.IMUL)
+    assert is_mem(OpClass.LOAD) and is_mem(OpClass.STORE) and not is_mem(OpClass.IALU)
+    assert is_branch(OpClass.BRANCH) and not is_branch(OpClass.NOP)
+    assert is_long_latency(OpClass.IDIV) and is_long_latency(OpClass.FDIV)
+    assert not is_long_latency(OpClass.IMUL)
+
+
+def test_microop_predicates():
+    load = MicroOp(op=OpClass.LOAD, dest=1, srcs=(2,), addr=0x100)
+    store = MicroOp(op=OpClass.STORE, srcs=(1, 2), addr=0x100)
+    branch = MicroOp(op=OpClass.BRANCH, srcs=(3,), taken=True, target=0x40)
+    alu = MicroOp(op=OpClass.IALU, dest=4, srcs=(5, 6))
+    assert load.is_mem() and store.is_mem() and not branch.is_mem()
+    assert branch.is_branch() and not load.is_branch()
+    assert load.writes_register() and alu.writes_register()
+    assert not store.writes_register() and not branch.writes_register()
+
+
+def test_register_helpers():
+    assert int_reg(5) == 5
+    assert is_fp_reg(fp_reg(3)) and not is_fp_reg(int_reg(3))
+    assert reg_name(int_reg(7)) == "r7"
+    assert reg_name(fp_reg(3)) == "f3"
+    with pytest.raises(ValueError):
+        int_reg(32)
+    with pytest.raises(ValueError):
+        fp_reg(-1)
+    with pytest.raises(ValueError):
+        reg_name(64)
+
+
+def test_format_alu_op():
+    uop = MicroOp(op=OpClass.IALU, dest=4, srcs=(5, 6))
+    assert format_microop(uop) == "ialu r4 r5, r6"
+
+
+def test_format_mem_ops():
+    load = MicroOp(op=OpClass.LOAD, dest=1, srcs=(2,), addr=0x100)
+    store = MicroOp(op=OpClass.STORE, srcs=(1, 2), addr=0x80)
+    assert format_microop(load) == "load r1 r2 [0x100]"
+    assert format_microop(store) == "store r1, r2 [0x80]"
+
+
+def test_format_branch_with_and_without_target():
+    taken = MicroOp(op=OpClass.BRANCH, srcs=(3,), taken=True, target=0x40)
+    fallthrough = MicroOp(op=OpClass.BRANCH, srcs=(3,), taken=False)
+    mispredicted = MicroOp(
+        op=OpClass.BRANCH, srcs=(3,), taken=True, target=0x40, mispredicted=True
+    )
+    assert format_microop(taken) == "branch r3 T->0x40"
+    assert format_microop(fallthrough) == "branch r3 N"
+    assert format_microop(mispredicted) == "branch r3 T!->0x40"
+
+
+def test_format_fp_op_uses_fp_register_names():
+    uop = MicroOp(op=OpClass.FMUL, dest=fp_reg(2), srcs=(fp_reg(0), fp_reg(1)))
+    assert format_microop(uop) == "fmul f2 f0, f1"

@@ -1,0 +1,138 @@
+"""Memory hierarchy: latencies per level, ports, MSHR bounds, bus charging."""
+
+import pytest
+
+from repro.memory.hierarchy import HierarchyParams, MemoryHierarchy
+
+P = HierarchyParams()  # Table 1 defaults
+COLD_A = 0x1000_0000
+COLD_B = 0x2000_0000
+
+#: Cycle a cold (L2-miss) access issued at cycle 0 completes:
+#: L1 + L2 lookup latencies, then a full memory access off an idle bus.
+COLD_READY = P.l1_latency + P.l2_latency + P.mem_latency
+
+
+def test_cold_access_goes_to_memory():
+    hierarchy = MemoryHierarchy()
+    result = hierarchy.access(COLD_A, now=0)
+    assert result.ok and result.level == "mem"
+    assert result.ready_at == COLD_READY
+
+
+def test_access_in_miss_shadow_merges_at_mshrs_with_same_ready_cycle():
+    hierarchy = MemoryHierarchy()
+    first = hierarchy.access(COLD_A, now=0)
+    second = hierarchy.access(COLD_A + 8, now=1)  # same line, still in flight
+    assert second.level == "mshr"
+    assert second.ready_at == first.ready_at
+    assert hierarchy.mshrs.merges == 1
+
+
+def test_line_hits_in_l1_after_fill_arrives():
+    hierarchy = MemoryHierarchy()
+    hierarchy.access(COLD_A, now=0)
+    later = COLD_READY + 10
+    result = hierarchy.access(COLD_A, now=later)
+    assert result.level == "l1"
+    assert result.ready_at == later + P.l1_latency
+
+
+def test_l1_eviction_falls_back_to_l2_latency():
+    params = HierarchyParams(l1d_size=128, l1_ways=2)  # one-set L1D
+    hierarchy = MemoryHierarchy(params)
+    t = 0
+    for addr in (COLD_A, COLD_A + 64, COLD_A + 128):  # 3 lines, 2 ways
+        hierarchy.access(addr, now=t)
+        t += 1000  # let each fill land before the next access
+    result = hierarchy.access(COLD_A, now=t)  # evicted from L1, still in L2
+    assert result.level == "l2"
+    assert result.ready_at == t + P.l1_latency + P.l2_latency
+
+
+def test_ports_exhaust_within_a_cycle_and_recover_next_cycle():
+    hierarchy = MemoryHierarchy()
+    base = COLD_READY + 50
+    hierarchy.access(COLD_A, now=0)
+    for i in range(P.dcache_ports):
+        assert hierarchy.access(COLD_A, now=base + i * 0).ok  # same cycle hits
+    refused = hierarchy.access(COLD_A, now=base)
+    assert not refused.ok and refused.reason == "port"
+    assert hierarchy.stats.port_conflicts == 1
+    assert hierarchy.access(COLD_A, now=base + 1).ok
+
+
+def test_mshr_file_exhaustion_refuses_without_losing_a_port():
+    params = HierarchyParams(mshr_entries=1)
+    hierarchy = MemoryHierarchy(params)
+    hierarchy.access(COLD_A, now=0)
+    refused = hierarchy.access(COLD_B, now=0)
+    assert not refused.ok and refused.reason == "mshr"
+    assert hierarchy.ports_free(0) == P.dcache_ports - 1  # only the NEW miss holds one
+
+
+def test_mshr_target_overflow_refuses():
+    params = HierarchyParams(mshr_targets=1)
+    hierarchy = MemoryHierarchy(params)
+    hierarchy.access(COLD_A, now=0)
+    refused = hierarchy.access(COLD_A + 4, now=1)
+    assert not refused.ok and refused.reason == "mshr_target"
+
+
+def test_refused_replays_do_not_inflate_the_miss_rate():
+    params = HierarchyParams(mshr_entries=1)
+    hierarchy = MemoryHierarchy(params)
+    hierarchy.access(COLD_A, now=0)
+    misses_before = hierarchy.l1d.stats.misses
+    for cycle in range(1, 6):
+        hierarchy.access(COLD_B, now=cycle)  # refused every cycle
+    assert hierarchy.l1d.stats.misses == misses_before
+
+
+def test_parallel_cold_misses_serialize_on_the_bus():
+    hierarchy = MemoryHierarchy()
+    first = hierarchy.access(COLD_A, now=0)
+    second = hierarchy.access(COLD_B, now=0)
+    assert first.ready_at == COLD_READY
+    assert second.ready_at == COLD_READY + P.bus_cycles_per_transfer
+    assert hierarchy.bus.transfers == 2
+
+
+def test_store_dirties_line_and_eviction_writes_back_to_l2():
+    params = HierarchyParams(l1d_size=128, l1_ways=2)
+    hierarchy = MemoryHierarchy(params)
+    hierarchy.access(COLD_A, now=0, is_store=True)
+    t = 1000
+    for addr in (COLD_A + 64, COLD_A + 128):  # push the dirty line out
+        hierarchy.access(addr, now=t)
+        t += 1000
+    hierarchy.access(COLD_A + 192, now=t)  # forces drain + another eviction
+    assert hierarchy.l1d.stats.writebacks >= 1
+
+
+def test_ifetch_miss_stalls_but_prefetched_lines_hit():
+    hierarchy = MemoryHierarchy()
+    pc = 0x0040_0000
+    first = hierarchy.ifetch(pc, now=0)
+    assert first.level == "mem" and first.ready_at == COLD_READY
+    # The stream buffer covered the next IFETCH_PREFETCH_LINES lines.
+    for ahead in range(1, MemoryHierarchy.IFETCH_PREFETCH_LINES + 1):
+        result = hierarchy.ifetch(pc + ahead * P.line_bytes, now=500 + ahead)
+        assert result.level == "l1" and result.ready_at == 500 + ahead
+
+
+def test_reset_restores_cold_state():
+    hierarchy = MemoryHierarchy()
+    hierarchy.access(COLD_A, now=0)
+    hierarchy.reset()
+    assert hierarchy.bus.transfers == 0
+    result = hierarchy.access(COLD_A, now=0)
+    assert result.level == "mem"
+
+
+def test_snapshot_exposes_key_counters():
+    hierarchy = MemoryHierarchy()
+    hierarchy.access(COLD_A, now=0)
+    snap = hierarchy.snapshot()
+    assert snap["bus_transfers"] == 1
+    assert 0.0 <= snap["l1d_miss_rate"] <= 1.0

@@ -1,0 +1,71 @@
+"""MSHR file: allocation, merging, refusals, and reclaim timing."""
+
+import pytest
+
+from repro.memory.mshr import MSHRFile, MSHROutcome
+
+LINE = 0x40
+
+
+def test_first_request_allocates_new_entry():
+    mshrs = MSHRFile(entries=4, targets_per_entry=2)
+    outcome, ready = mshrs.request(LINE, now=0, ready_at=100)
+    assert outcome is MSHROutcome.NEW and ready == 100
+    assert mshrs.allocations == 1
+    assert mshrs.outstanding(0) == 1
+
+
+def test_second_request_merges_and_returns_existing_ready_cycle():
+    mshrs = MSHRFile(entries=4, targets_per_entry=2)
+    mshrs.request(LINE, now=0, ready_at=100)
+    outcome, ready = mshrs.request(LINE, now=5, ready_at=999)
+    assert outcome is MSHROutcome.MERGED
+    assert ready == 100  # the in-flight miss's completion, not the new one
+    assert mshrs.merges == 1
+
+
+def test_target_overflow_refuses_with_no_target():
+    mshrs = MSHRFile(entries=4, targets_per_entry=2)
+    mshrs.request(LINE, now=0, ready_at=100)
+    mshrs.request(LINE, now=1, ready_at=100)  # second target fills the entry
+    outcome, _ = mshrs.request(LINE, now=2, ready_at=100)
+    assert outcome is MSHROutcome.NO_TARGET
+    assert mshrs.target_stalls == 1
+
+
+def test_full_file_refuses_with_no_mshr():
+    mshrs = MSHRFile(entries=1, targets_per_entry=8)
+    mshrs.request(LINE, now=0, ready_at=100)
+    outcome, _ = mshrs.request(0x80, now=0, ready_at=100)
+    assert outcome is MSHROutcome.NO_MSHR
+    assert mshrs.full_stalls == 1
+
+
+def test_reclaim_frees_entries_once_ready_cycle_passes():
+    mshrs = MSHRFile(entries=1, targets_per_entry=8)
+    mshrs.request(LINE, now=0, ready_at=100)
+    assert mshrs.outstanding(99) == 1
+    assert mshrs.outstanding(100) == 0  # ready_at <= now reclaims
+    outcome, _ = mshrs.request(0x80, now=100, ready_at=200)
+    assert outcome is MSHROutcome.NEW
+
+
+def test_lookup_tracks_in_flight_misses_only():
+    mshrs = MSHRFile()
+    mshrs.request(LINE, now=0, ready_at=50)
+    assert mshrs.lookup(LINE, now=10) == 50
+    assert mshrs.lookup(LINE, now=50) is None  # reclaimed
+    assert mshrs.lookup(0x999, now=10) is None
+
+
+def test_flush_drops_all_state():
+    mshrs = MSHRFile()
+    mshrs.request(LINE, now=0, ready_at=50)
+    mshrs.flush()
+    assert mshrs.outstanding(0) == 0
+
+
+@pytest.mark.parametrize("entries,targets", [(0, 8), (32, 0)])
+def test_rejects_bad_bounds(entries, targets):
+    with pytest.raises(ValueError):
+        MSHRFile(entries=entries, targets_per_entry=targets)
