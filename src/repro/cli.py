@@ -16,7 +16,10 @@ from typing import Sequence
 
 from repro.core.params import CheckerParams, CoreParams
 from repro.core.core import SuperscalarCore
-from repro.workloads import PRESETS, WorkloadProfile, generate
+from repro.workloads import PRESETS, WorkloadProfile, WrongPathGenerator, generate
+
+#: Single source of truth for the depth default (the CoreParams field).
+_DEFAULT_WRONG_PATH_DEPTH = CoreParams().wrong_path_depth
 
 
 def run_experiment(
@@ -26,26 +29,40 @@ def run_experiment(
     check: bool = True,
     fault_rate: float = 1e-4,
     real_predictor: bool = False,
+    wrong_path: bool = True,
+    wrong_path_depth: int = _DEFAULT_WRONG_PATH_DEPTH,
 ) -> dict:
     """Run one preset through baseline and (optionally) checked cores.
 
     Both cores consume the *same* trace, so every difference in the stats
     is attributable to the checker's resource sharing and recoveries.
+    Wrong-path streams come from a profile-aware generator so the wasted
+    work the checker competes with matches the workload's own op mix.
     """
     trace = generate(profile, num_ops, seed=seed)
-    baseline = SuperscalarCore(CoreParams(use_real_predictor=real_predictor))
+    wp_source = WrongPathGenerator(profile, seed=seed).stream if wrong_path else None
+
+    def core_params(checker: CheckerParams | None = None) -> CoreParams:
+        return CoreParams(
+            use_real_predictor=real_predictor,
+            model_wrong_path=wrong_path,
+            wrong_path_depth=wrong_path_depth,
+            wrong_path_seed=seed,
+            checker=checker if checker is not None else CheckerParams(),
+        )
+
+    baseline = SuperscalarCore(core_params(), wrong_path_source=wp_source)
     baseline_stats = baseline.run(trace)
     result: dict = {
         "preset": profile.name,
         "ops": num_ops,
         "seed": seed,
+        "wrong_path": wrong_path,
         "unchecked": baseline_stats.to_dict(),
     }
     if check:
         checker = CheckerParams(enabled=True, fault_rate=fault_rate, fault_seed=seed + 1)
-        checked = SuperscalarCore(
-            CoreParams(use_real_predictor=real_predictor, checker=checker)
-        )
+        checked = SuperscalarCore(core_params(checker), wrong_path_source=wp_source)
         checked_stats = checked.run(trace)
         result["checked"] = checked_stats.to_dict()
         # None (JSON null) rather than inf: json.dumps would emit the
@@ -75,6 +92,13 @@ def format_report(result: dict) -> str:
             f"mispredict {unchecked['mispredict_rate']:.1%}"
         ),
     ]
+    if result.get("wrong_path") and unchecked["wrong_path_fetched"]:
+        lines.append(
+            f"  wrong-path: fetched {unchecked['wrong_path_fetched']:.0f} "
+            f"({unchecked['wrong_path_fetch_fraction']:.1%} of fetch)  "
+            f"issued {unchecked['wrong_path_issued']:.0f}  "
+            f"slot-waste {unchecked['wrong_path_slot_rate']:.1%}"
+        )
     if "checked" in result:
         checked = result["checked"]
         lines.append(
@@ -82,6 +106,12 @@ def format_report(result: dict) -> str:
             f"slot-steal {checked['slot_steal_rate']:.1%}  "
             f"checks {checked['checks_completed']:.0f}"
         )
+        if result.get("wrong_path"):
+            lines.append(
+                f"  contention: wrong-path slot-waste {checked['wrong_path_slot_rate']:.1%} "
+                f"competes with checker slot-steal {checked['slot_steal_rate']:.1%} "
+                f"(primary {checked['primary_slot_utilization']:.1%})"
+            )
         lines.append(
             f"  faults:    injected {checked['faults_injected']:.0f}  "
             f"detected {checked['faults_detected']:.0f}  "
@@ -130,6 +160,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the combining predictor instead of trace mispredict flags",
     )
+    parser.add_argument(
+        "--no-wrong-path",
+        action="store_true",
+        help="stall fetch at mispredicted branches instead of executing wrong-path work",
+    )
+    parser.add_argument(
+        "--wrong-path-depth",
+        type=int,
+        default=_DEFAULT_WRONG_PATH_DEPTH,
+        help="max micro-ops fetched down one wrong path before waiting for resolution",
+    )
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
     return parser
 
@@ -141,6 +182,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error(f"--fault-rate must be in [0, 1], got {args.fault_rate}")
     if args.ops < 0:
         parser.error(f"--ops must be non-negative, got {args.ops}")
+    if args.wrong_path_depth <= 0:
+        parser.error(f"--wrong-path-depth must be positive, got {args.wrong_path_depth}")
     names = sorted(PRESETS) if args.all_presets else [args.preset]
     results = [
         run_experiment(
@@ -150,6 +193,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             check=args.check,
             fault_rate=args.fault_rate,
             real_predictor=args.real_predictor,
+            wrong_path=not args.no_wrong_path,
+            wrong_path_depth=args.wrong_path_depth,
         )
         for name in names
     ]

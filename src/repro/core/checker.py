@@ -56,7 +56,10 @@ class Checker:
                 continue
             if op.faulty:
                 self._stats.faults_detected += 1
-                latency = op.check_complete_at - (op.fault_at or op.check_complete_at)
+                # `fault_at` can legitimately be cycle 0, so a falsy-or
+                # fallback would report zero latency for that fault.
+                fault_at = op.fault_at if op.fault_at is not None else op.check_complete_at
+                latency = op.check_complete_at - fault_at
                 self._stats.detection_latency_sum += latency
                 self._stats.detection_latency_max = max(
                     self._stats.detection_latency_max, latency
@@ -81,6 +84,11 @@ class Checker:
         """
         used = 0
         for op in window:
+            if op.wrong_path:
+                # Wrong-path ops are dead on arrival: they are never
+                # verified and must not advertise verified registers, and
+                # they must not block the in-order scan behind them.
+                continue
             if op.checked or op.check_issued_at is not None:
                 continue
             if used >= slots:
@@ -128,6 +136,8 @@ class Checker:
         """
         self._reg_ready.clear()
         for op in window:
+            if op.wrong_path:
+                continue
             dest = op.uop.dest
             if dest is None or dest == REG_ZERO:
                 continue

@@ -3,9 +3,15 @@
 The machine is trace driven and models the paper's pipeline shape:
 
 * **fetch** — up to ``fetch_width`` micro-ops per cycle enter a bounded
-  window; fetch stalls on I-cache misses and stops at a mispredicted
-  branch until the branch resolves (no wrong-path execution is modelled,
-  so the full penalty is resolution wait + redirect).
+  window; fetch stalls on I-cache misses (probed once per cache line the
+  fetch group touches).  At a mispredicted branch the front end switches
+  to a synthetic **wrong-path** stream (see
+  :class:`~repro.workloads.synthetic.WrongPathGenerator`): wrong-path ops
+  are renamed, issued, and executed like any other op — consuming real
+  issue slots, functional units, and memory bandwidth — and are squashed
+  when the branch resolves, after which fetch redirects to the correct
+  path.  With ``model_wrong_path`` off, fetch instead stalls at the
+  branch and the full penalty is resolution wait + redirect.
 * **rename** — source operands capture direct references to their in-flight
   producers; the zero register never creates a dependency.
 * **issue/execute** — oldest-first out-of-order issue of ready ops into the
@@ -23,7 +29,7 @@ The machine is trace driven and models the paper's pipeline shape:
 from __future__ import annotations
 
 from collections import deque
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.branch.combining import CombiningPredictor
 from repro.core.checker import Checker
@@ -36,6 +42,11 @@ from repro.isa.instruction import MicroOp
 from repro.isa.opcodes import OpClass, UNPIPELINED_OPS, default_latencies, fu_class_for
 from repro.isa.registers import REG_ZERO
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.workloads.synthetic import WrongPathGenerator
+
+#: Signature of a wrong-path stream source: (branch uop, branch seq,
+#: depth) -> the micro-ops the front end finds down the wrong path.
+WrongPathSource = Callable[[MicroOp, int, int], list[MicroOp]]
 
 
 class SuperscalarCore:
@@ -46,11 +57,15 @@ class SuperscalarCore:
         params: CoreParams | None = None,
         hierarchy: MemoryHierarchy | None = None,
         predictor: CombiningPredictor | None = None,
+        wrong_path_source: WrongPathSource | None = None,
     ):
         self.params = params or CoreParams()
         self.hierarchy = hierarchy if hierarchy is not None else MemoryHierarchy()
         self._owns_predictor = predictor is None and self.params.use_real_predictor
         self.predictor = predictor  # built by _reset_run_state() when owned
+        # A caller-supplied source (e.g. a profile-aware WrongPathGenerator)
+        # overrides the default generic stream generator.
+        self._wp_source_override = wrong_path_source
         self._latencies = default_latencies()
         self._trace: Sequence[MicroOp] = ()
         self.retired: list[DynOp] = []
@@ -94,6 +109,21 @@ class SuperscalarCore:
         self._fetch_stall_until = 0
         self._icache_stall_until = 0
         self._waiting_branch = None
+        # --- wrong-path episode state (one episode at a time; the next
+        # mispredicted branch can only be fetched after the redirect) ---
+        if self.params.model_wrong_path:
+            self._wp_source = self._wp_source_override or WrongPathGenerator(
+                seed=self.params.wrong_path_seed
+            ).stream
+        else:
+            self._wp_source = None
+        self._wp_branch: DynOp | None = None
+        self._wp_queue: deque[MicroOp] = deque()
+        self._wp_resolve_at: int | None = None
+        self._wp_icache_stall_until = 0
+        # Wrong-path seqs start past the trace so they always read as
+        # "younger than any real op" to the squash machinery.
+        self._wp_next_seq = len(self._trace)
         self._now = 0
 
     # ------------------------------------------------------------------- run
@@ -106,8 +136,8 @@ class SuperscalarCore:
                 to a generous bound scaled by trace length) — a deadlock
                 guard, not an expected exit.
         """
+        self._trace = trace  # before the reset: wrong-path seqs start past it
         self._reset_run_state()
-        self._trace = trace
         limit = max_cycles if max_cycles is not None else 10_000 + 400 * len(trace)
         while self._fetch_index < len(trace) or self._window:
             if self._now > limit:
@@ -124,6 +154,7 @@ class SuperscalarCore:
 
     def _step(self) -> None:
         now = self._now
+        self._squash_wrong_path(now)
         if self.checker is not None:
             faulty = self.checker.process_completions(self._window, now)
             if faulty is not None:
@@ -172,8 +203,17 @@ class SuperscalarCore:
                     op.uop.addr, now, is_store=op.uop.op is OpClass.STORE
                 )
                 if not result.ok:
+                    # The refused access still occupied an issue slot this
+                    # cycle: a replay storm must not look like idle issue
+                    # bandwidth to the checker.
                     op.replays += 1
-                    self.stats.mem_replays += 1
+                    slots -= 1
+                    self.stats.replay_slots_used += 1
+                    if op.wrong_path:
+                        self.stats.wrong_path_mem_replays += 1
+                        self.stats.wrong_path_slots_used += 1
+                    else:
+                        self.stats.mem_replays += 1
                     continue
                 complete = result.ready_at
             else:
@@ -183,19 +223,33 @@ class SuperscalarCore:
             busy_until = complete if op.uop.op in UNPIPELINED_OPS else None
             self._fu.acquire(cls, busy_until)
             slots -= 1
-            self.stats.primary_slots_used += 1
-            if self.fault_injector is not None:
-                self.fault_injector.maybe_inject(op)
-                self.stats.faults_injected = self.fault_injector.injected
+            if op.wrong_path:
+                self.stats.wrong_path_issued += 1
+                self.stats.wrong_path_slots_used += 1
+            else:
+                self.stats.primary_slots_used += 1
+                # Wrong-path results are never checked, so corrupting them
+                # would be invisible and would break the detected+squashed
+                # == injected invariant.  Skipping them also keeps forced
+                # fault seqs stable across the toggle (rate-based draws
+                # still follow issue order, which the toggle can perturb).
+                if self.fault_injector is not None:
+                    self.fault_injector.maybe_inject(op)
+                    self.stats.faults_injected = self.fault_injector.injected
             if op is self._waiting_branch:
-                # Resolution time is now known: fetch restarts after redirect.
+                # Resolution time is now known: fetch restarts after redirect
+                # and any wrong-path work is squashed at resolution.
                 self._fetch_stall_until = complete + self.params.mispredict_penalty
+                self._wp_resolve_at = complete
                 self._waiting_branch = None
         return slots
 
     # ----------------------------------------------------------------- fetch
 
     def _fetch(self, now: int) -> None:
+        if self._wp_branch is not None:
+            self._fetch_wrong_path(now)
+            return
         if (
             self._waiting_branch is not None
             or now < self._fetch_stall_until
@@ -203,17 +257,24 @@ class SuperscalarCore:
         ):
             return
         fetched = 0
+        probed_line: int | None = None
         while (
             fetched < self.params.fetch_width
             and self._fetch_index < len(self._trace)
             and len(self._window) < self.params.window_size
         ):
             uop = self._trace[self._fetch_index]
-            if fetched == 0 and self.params.model_icache:
-                result = self.hierarchy.ifetch(uop.pc, now)
-                if result.level != "l1":
-                    self._icache_stall_until = result.ready_at
-                    return
+            if self.params.model_icache:
+                # Probe once per cache line the group touches, not once per
+                # group: a line-crossing group pays for (and trains the
+                # prefetcher on) its second line too.
+                line = uop.pc // self.hierarchy.params.line_bytes
+                if line != probed_line:
+                    result = self.hierarchy.ifetch(uop.pc, now)
+                    probed_line = line
+                    if result.level != "l1":
+                        self._icache_stall_until = result.ready_at
+                        return
             op = self._rename(uop, now)
             self._window.append(op)
             self._fetch_index += 1
@@ -222,13 +283,59 @@ class SuperscalarCore:
             if uop.is_branch() and self._fetch_branch(op):
                 return
 
-    def _rename(self, uop: MicroOp, now: int) -> DynOp:
+    def _fetch_wrong_path(self, now: int) -> None:
+        """Fetch down the wrong path while the mispredicted branch is unresolved.
+
+        Wrong-path I-cache misses stall only *this* stream (their line
+        fills and bus traffic persist): the correct-path redirect after the
+        squash must not inherit a wait for instructions that were never on
+        the program's path.
+        """
+        if now < self._wp_icache_stall_until:
+            return
+        fetched = 0
+        probed_line: int | None = None
+        while (
+            fetched < self.params.fetch_width
+            and self._wp_queue
+            and len(self._window) < self.params.window_size
+        ):
+            uop = self._wp_queue[0]
+            if self.params.model_icache:
+                line = uop.pc // self.hierarchy.params.line_bytes
+                if line != probed_line:
+                    result = self.hierarchy.ifetch(uop.pc, now, prefetch=False)
+                    probed_line = line
+                    if result.level != "l1":
+                        self._wp_icache_stall_until = result.ready_at
+                        return
+            self._wp_queue.popleft()
+            op = self._rename(uop, now, wrong_path=True)
+            self._window.append(op)
+            fetched += 1
+            self.stats.wrong_path_fetched += 1
+
+    def _rename(self, uop: MicroOp, now: int, wrong_path: bool = False) -> DynOp:
         deps = tuple(
             producer
             for src in uop.srcs
             if src != REG_ZERO and (producer := self._reg_producer.get(src)) is not None
         )
-        op = DynOp(uop=uop, seq=self._fetch_index, fetched_at=now, deps=deps)
+        if wrong_path:
+            seq = self._wp_next_seq
+            self._wp_next_seq += 1
+            color = self._wp_branch.seq
+        else:
+            seq = self._fetch_index
+            color = None
+        op = DynOp(
+            uop=uop,
+            seq=seq,
+            fetched_at=now,
+            deps=deps,
+            wrong_path=wrong_path,
+            branch_color=color,
+        )
         if uop.op is OpClass.NOP:
             # Nops consume front-end and commit bandwidth only.
             op.issued_at = now
@@ -263,8 +370,51 @@ class SuperscalarCore:
         op.mispredicted = outcome
         if op.mispredicted:
             self._waiting_branch = op
+            if self._wp_source is not None:
+                # Start a wrong-path episode: fetch switches to this stream
+                # next cycle and stays there until the branch resolves.
+                self._wp_branch = op
+                self._wp_resolve_at = None
+                self._wp_icache_stall_until = 0
+                self._wp_queue = deque(
+                    self._wp_source(uop, op.seq, self.params.wrong_path_depth)
+                )
             return True
         return False
+
+    # ------------------------------------------------------------ wrong path
+
+    def _squash_wrong_path(self, now: int) -> None:
+        """Throw away the wrong-path work once its branch has resolved.
+
+        Wrong-path ops are always the youngest ops in the window (no
+        correct-path fetch happens during an episode), so popping the
+        wrong-path tail removes exactly this episode's colour.
+        """
+        if (
+            self._wp_branch is None
+            or self._wp_resolve_at is None
+            or now < self._wp_resolve_at
+        ):
+            return
+        color = self._wp_branch.seq
+        while (
+            self._window
+            and self._window[-1].wrong_path
+            and self._window[-1].branch_color == color
+        ):
+            victim = self._window.pop()
+            victim.squashed = True
+            self.stats.wrong_path_squashed += 1
+            self._release_victim_fu(victim, now)
+        self._rebuild_producers()
+        self._end_wrong_path()
+
+    def _end_wrong_path(self) -> None:
+        self._wp_branch = None
+        self._wp_queue.clear()
+        self._wp_resolve_at = None
+        self._wp_icache_stall_until = 0
 
     # -------------------------------------------------------------- recovery
 
@@ -274,7 +424,10 @@ class SuperscalarCore:
         The checker's re-execution of ``faulty`` produced the correct
         result (its operands were verified), so the op itself commits as
         corrected; everything younger consumed — or may have consumed — the
-        corrupt value and is squashed and re-fetched.
+        corrupt value and is squashed and re-fetched.  Wrong-path ops are
+        always younger than any checkable op, so an active episode is
+        swept away with the rest (and restarted when its branch is
+        re-fetched and re-mispredicted).
         """
         faulty.faulty = False
         faulty.corrected = True
@@ -284,16 +437,45 @@ class SuperscalarCore:
         while self._window and self._window[-1].seq > faulty.seq:
             victim = self._window.pop()
             victim.squashed = True
-            self.stats.squashed += 1
-            if victim.faulty:
-                self.stats.faults_squashed += 1
+            if victim.wrong_path:
+                self.stats.wrong_path_squashed += 1
+            else:
+                self.stats.squashed += 1
+                if victim.faulty:
+                    self.stats.faults_squashed += 1
+            self._release_victim_fu(victim, now)
+        self._rebuild_producers()
+        if self.checker is not None:
+            self.checker.rebuild_after_squash(self._window)
+        self._fetch_index = faulty.seq + 1
+        self._waiting_branch = None
+        self._end_wrong_path()
+        self._fetch_stall_until = now + self.params.checker.recovery_penalty
+
+    def _rebuild_producers(self) -> None:
+        """Recompute the register-producer map from the surviving window."""
         self._reg_producer.clear()
         for op in self._window:
             dest = op.uop.dest
             if dest is not None and dest != REG_ZERO and op.uop.op is not OpClass.NOP:
                 self._reg_producer[dest] = op
-        if self.checker is not None:
-            self.checker.rebuild_after_squash(self._window)
-        self._fetch_index = faulty.seq + 1
-        self._waiting_branch = None
-        self._fetch_stall_until = now + self.params.checker.recovery_penalty
+
+    def _release_victim_fu(self, victim: DynOp, now: int) -> None:
+        """Free functional-unit reservations a squashed op still holds.
+
+        Only unpipelined ops reserve a unit across cycles; a squashed
+        in-flight divide (primary execution or its check) must give its
+        unit back instead of blocking it for the full latency of work that
+        no longer exists.  Reservations that already expired are left to
+        ``begin_cycle`` — releasing them here could steal an identical
+        reservation from a live op.
+        """
+        if victim.uop.op not in UNPIPELINED_OPS:
+            return
+        cls = fu_class_for(victim.uop.op)
+        if victim.issued_at is not None and victim.complete_at is not None:
+            if victim.complete_at > now:
+                self._fu.release(cls, victim.complete_at)
+        if victim.check_issued_at is not None and victim.check_complete_at is not None:
+            if victim.check_complete_at > now:
+                self._fu.release(cls, victim.check_complete_at)

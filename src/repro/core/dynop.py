@@ -39,6 +39,14 @@ class DynOp:
     corrected: bool = False
     mispredicted: bool = False
     replays: int = 0
+    #: True for ops fetched past an unresolved mispredicted branch.  Wrong-path
+    #: ops consume fetch/issue/FU/memory bandwidth like any other op but are
+    #: never checked, never advertise verified registers, and never commit:
+    #: they are squashed when their spawning branch resolves.
+    wrong_path: bool = False
+    #: Sequence number of the mispredicted branch a wrong-path op belongs to;
+    #: the resolution squash removes exactly the ops carrying its colour.
+    branch_color: int | None = None
 
     def deps_ready(self, now: int) -> bool:
         """True if every source producer has a result by cycle ``now``."""

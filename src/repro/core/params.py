@@ -52,6 +52,16 @@ class CoreParams:
             2 FMUL — divides share the multiply units).
         mispredict_penalty: Fetch-redirect cycles after a mispredicted
             branch resolves.
+        model_wrong_path: Keep fetching (and renaming/issuing/executing)
+            down the wrong path while a mispredicted branch is unresolved,
+            instead of stalling fetch at the branch.  Wrong-path ops consume
+            real issue slots, functional units, and memory-hierarchy
+            bandwidth — the wasted work the checker competes with in the
+            paper — and are squashed when the branch resolves.
+        wrong_path_depth: Maximum micro-ops fetched down one wrong path
+            before the front end gives up and waits for resolution.
+        wrong_path_seed: Seed for the synthetic wrong-path stream generator
+            (each branch's stream is a pure function of seed, PC, and seq).
         model_icache: Charge I-cache miss stalls on the fetch path.
         use_real_predictor: Predict branches with the combining predictor
             instead of honouring trace-supplied ``mispredicted`` flags.
@@ -65,6 +75,9 @@ class CoreParams:
     window_size: int = 128
     fu_counts: Mapping[FUClass, int] = field(default_factory=_table1_fus)
     mispredict_penalty: int = 3
+    model_wrong_path: bool = True
+    wrong_path_depth: int = 64
+    wrong_path_seed: int = 0
     model_icache: bool = True
     use_real_predictor: bool = False
     record_retired: bool = False
@@ -74,5 +87,7 @@ class CoreParams:
         for name in ("fetch_width", "issue_width", "commit_width", "window_size"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
+        if self.wrong_path_depth <= 0:
+            raise ValueError("wrong_path_depth must be positive")
         if any(count <= 0 for count in self.fu_counts.values()):
             raise ValueError("every functional-unit count must be positive")

@@ -60,6 +60,22 @@ class FUPool:
         else:
             self._used[cls] += 1
 
+    def release(self, cls: FUClass, busy_until: int) -> bool:
+        """Free one unit blocked through ``busy_until`` (a squashed op).
+
+        Squash-and-replay removes ops from the window, but an in-flight
+        unpipelined op's reservation would otherwise keep its unit blocked
+        for the full latency of work that no longer exists.  Returns True
+        if a matching reservation was found and removed; False if it had
+        already expired (``begin_cycle`` dropped it) — a no-op, not an
+        error, so callers can release unconditionally at squash time.
+        """
+        blocked = self._blocked[cls]
+        if busy_until in blocked:
+            blocked.remove(busy_until)
+            return True
+        return False
+
     def utilization(self, classes: Iterable[FUClass] | None = None) -> dict[FUClass, int]:
         """Current-cycle issues per class (for stats and tests)."""
         wanted = tuple(classes) if classes is not None else FU_CLASSES

@@ -19,9 +19,20 @@ class CoreStats:
     committed: int = 0
     squashed: int = 0
     mem_replays: int = 0
+    #: Issue slots burned by memory ops the hierarchy refused (the attempt
+    #: occupied real issue bandwidth even though the access replays later).
+    replay_slots_used: int = 0
     branches: int = 0
     branch_mispredicts: int = 0
     primary_slots_used: int = 0
+    # --- wrong path ---
+    wrong_path_fetched: int = 0
+    wrong_path_issued: int = 0
+    wrong_path_squashed: int = 0
+    #: Issue slots consumed by wrong-path ops (successful issues plus
+    #: refused-memory attempts down the wrong path).
+    wrong_path_slots_used: int = 0
+    wrong_path_mem_replays: int = 0
     # --- checker ---
     checks_completed: int = 0
     checker_slots_used: int = 0
@@ -57,6 +68,22 @@ class CoreStats:
         return self.primary_slots_used / total
 
     @property
+    def wrong_path_slot_rate(self) -> float:
+        """Fraction of all issue-slot-cycles wasted on wrong-path work."""
+        total = self.cycles * self.issue_width
+        if not total:
+            return 0.0
+        return self.wrong_path_slots_used / total
+
+    @property
+    def wrong_path_fetch_fraction(self) -> float:
+        """Fraction of all fetched micro-ops that were wrong-path."""
+        total = self.fetched + self.wrong_path_fetched
+        if not total:
+            return 0.0
+        return self.wrong_path_fetched / total
+
+    @property
     def mean_detection_latency(self) -> float:
         """Mean cycles from fault activation to checker detection."""
         if not self.faults_detected:
@@ -79,6 +106,14 @@ class CoreStats:
             "fetched": self.fetched,
             "squashed": self.squashed,
             "mem_replays": self.mem_replays,
+            "replay_slots_used": self.replay_slots_used,
+            "wrong_path_fetched": self.wrong_path_fetched,
+            "wrong_path_issued": self.wrong_path_issued,
+            "wrong_path_squashed": self.wrong_path_squashed,
+            "wrong_path_slots_used": self.wrong_path_slots_used,
+            "wrong_path_mem_replays": self.wrong_path_mem_replays,
+            "wrong_path_slot_rate": self.wrong_path_slot_rate,
+            "wrong_path_fetch_fraction": self.wrong_path_fetch_fraction,
             "branches": self.branches,
             "branch_mispredicts": self.branch_mispredicts,
             "mispredict_rate": self.mispredict_rate,

@@ -9,7 +9,7 @@ line reports a writeback so the hierarchy can charge bus bandwidth.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.util import require_power_of_two
 

@@ -201,11 +201,15 @@ class MemoryHierarchy:
     #: can stall the front end.
     IFETCH_PREFETCH_LINES = 4
 
-    def ifetch(self, pc: int, now: int) -> AccessResult:
+    def ifetch(self, pc: int, now: int, prefetch: bool = True) -> AccessResult:
         """Fetch-group access to the I-cache at ``pc``.
 
         Hits are free from the core's point of view (fetch is pipelined);
         the core stalls only on the returned ready cycle of a miss.
+        ``prefetch=False`` skips the stream buffer: the ideal-prefetch
+        assumption holds for the demand (correct-path) stream only, so
+        wrong-path probes fill their own lines but must not prefetch the
+        correct path's future lines for free.
         """
         p = self.params
         if self.l1i.lookup(pc):
@@ -215,6 +219,8 @@ class MemoryHierarchy:
             ready, level = self._fetch_line(pc, now)
             self.l1i.fill(pc)
             result = AccessResult(ok=True, ready_at=ready, level=level)
+        if not prefetch:
+            return result
         for ahead in range(1, self.IFETCH_PREFETCH_LINES + 1):
             next_pc = pc + ahead * p.line_bytes
             if not self.l1i.contains(next_pc):

@@ -7,12 +7,13 @@ profile knobs, and four presets (``int-heavy``, ``fp-heavy``,
 """
 
 from repro.workloads.profiles import PRESETS, WorkloadProfile, preset
-from repro.workloads.synthetic import TraceGenerator, generate
+from repro.workloads.synthetic import TraceGenerator, WrongPathGenerator, generate
 
 __all__ = [
     "PRESETS",
     "TraceGenerator",
     "WorkloadProfile",
+    "WrongPathGenerator",
     "generate",
     "preset",
 ]

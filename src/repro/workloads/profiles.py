@@ -9,7 +9,7 @@ bundled presets span the paper's four qualitative regimes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 from repro.isa.opcodes import OpClass

@@ -156,6 +156,93 @@ class TraceGenerator:
         return MicroOp(op=static.op, dest=static.dest, srcs=static.srcs, pc=static.pc)
 
 
+#: Wrong-path data accesses land here by default: a region disjoint from
+#: both the hot set and the cold-streaming region, so wrong-path loads
+#: genuinely pollute the caches rather than silently warming the hot set.
+_WRONG_PATH_DATA_BASE = 0x4000_0000
+
+#: Default op mix for wrong-path streams when no profile is supplied:
+#: ALU-dominated straight-line code with a realistic sprinkling of memory
+#: ops, mirroring what a front end finds past a mispredicted branch.
+_WRONG_PATH_MIX: dict[OpClass, float] = {
+    OpClass.IALU: 0.55,
+    OpClass.IMUL: 0.05,
+    OpClass.LOAD: 0.20,
+    OpClass.STORE: 0.08,
+    OpClass.BRANCH: 0.12,
+}
+
+
+class WrongPathGenerator:
+    """Deterministic per-branch wrong-path micro-op streams.
+
+    When a branch is mispredicted the front end fetches the *other* side
+    of it: the fall-through when the branch was actually taken, the target
+    when it was actually not taken.  :meth:`stream` synthesises that code
+    as a straight-line run of micro-ops starting at the wrong-path PC —
+    enough structure for the core to rename, issue, and execute them so
+    they consume real issue slots, functional units, and memory bandwidth
+    before the resolution squash throws them away.
+
+    Streams are pure functions of ``(seed, branch pc, branch seq)``: a
+    squash-and-replay refetch of the same dynamic branch regenerates the
+    identical wrong path, keeping whole-run determinism.
+
+    Wrong-path branches are emitted without outcomes (``taken=None``) —
+    the core executes their condition on an ALU but never predicts,
+    trains, or forks a nested wrong path from them.
+    """
+
+    def __init__(self, profile: WorkloadProfile | None = None, seed: int = 0):
+        mix = dict(profile.mix) if profile is not None else dict(_WRONG_PATH_MIX)
+        mix.pop(OpClass.NOP, None)  # nops waste no back-end bandwidth
+        self._ops = tuple(mix.keys())
+        self._weights = tuple(mix.values())
+        self._seed = seed
+        self._hot_lines = profile.hot_lines if profile is not None else 256
+
+    def stream(self, branch: MicroOp, seq: int, depth: int) -> list[MicroOp]:
+        """Synthesize up to ``depth`` wrong-path micro-ops for ``branch``."""
+        if branch.taken:
+            wrong_pc = branch.pc + 4  # predicted not-taken, fell through
+        else:
+            wrong_pc = branch.target if branch.target is not None else branch.pc + 4
+        rng = random.Random(self._seed * 0x9E3779B1 ^ (branch.pc << 4) ^ seq)
+        recent: deque[int] = deque(maxlen=8)
+        ops: list[MicroOp] = []
+        for i in range(depth):
+            pc = wrong_pc + 4 * i
+            op = rng.choices(self._ops, weights=self._weights)[0]
+            srcs = tuple(
+                rng.choice(tuple(recent)) if recent and rng.random() < 0.4 else REG_ZERO
+                for _ in range(2)
+            )
+            if op is OpClass.BRANCH:
+                ops.append(MicroOp(op=op, srcs=srcs[:1], pc=pc))
+                continue
+            if op is OpClass.LOAD or op is OpClass.STORE:
+                if rng.random() < 0.3:
+                    # Stray into the real working set: contend for its lines.
+                    addr = _HOT_BASE + _LINE_BYTES * rng.randrange(self._hot_lines)
+                else:
+                    addr = _WRONG_PATH_DATA_BASE + _LINE_BYTES * rng.randrange(4096)
+                if op is OpClass.STORE:
+                    ops.append(MicroOp(op=op, srcs=srcs, pc=pc, addr=addr))
+                    continue
+                dest = int_reg(rng.randrange(1, NUM_INT_REGS))
+                recent.append(dest)
+                ops.append(MicroOp(op=op, dest=dest, srcs=srcs[:1], pc=pc, addr=addr))
+                continue
+            fp = is_fp(op)
+            if fp:
+                dest = fp_reg(rng.randrange(NUM_FP_REGS))
+            else:
+                dest = int_reg(rng.randrange(1, NUM_INT_REGS))
+            recent.append(dest)
+            ops.append(MicroOp(op=op, dest=dest, srcs=srcs, pc=pc))
+        return ops
+
+
 def generate(profile: WorkloadProfile, num_ops: int, seed: int = 0) -> list[MicroOp]:
     """Generate a deterministic trace of ``num_ops`` micro-ops."""
     if num_ops < 0:

@@ -1,7 +1,5 @@
 """Combining predictor: meta-chooser training and misprediction rules."""
 
-import pytest
-
 from repro.branch.combining import BranchPrediction, CombiningPredictor
 
 

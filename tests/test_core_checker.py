@@ -1,7 +1,5 @@
 """Checked-mode integration: resource stealing, detection, recovery."""
 
-import pytest
-
 from repro.core import CheckerParams, CoreParams, SuperscalarCore
 from repro.isa import MicroOp, OpClass
 from repro.workloads import generate, preset
@@ -145,6 +143,51 @@ def test_recovery_does_not_cancel_an_outstanding_icache_miss_stall():
     core._recover(faulty, now=10)
     assert core._icache_stall_until == 500
     assert core._fetch_stall_until == 10 + core.params.checker.recovery_penalty
+
+
+def test_cycle_zero_fault_reports_its_full_detection_latency():
+    """Regression: a fault activated at cycle 0 is falsy, and the old
+    ``op.fault_at or op.check_complete_at`` fallback reported latency 0."""
+    from collections import deque
+
+    from repro.core.checker import Checker
+    from repro.core.dynop import DynOp
+    from repro.core.scheduler import FUPool
+    from repro.core.stats import CoreStats
+    from repro.isa.opcodes import FU_CLASSES, default_latencies
+
+    stats = CoreStats()
+    checker = Checker(FUPool({cls: 8 for cls in FU_CLASSES}), default_latencies(), stats)
+    op = DynOp(uop=MicroOp(op=OpClass.IALU, dest=1), seq=0, fetched_at=0)
+    op.faulty = True
+    op.fault_at = 0
+    op.check_complete_at = 5
+    assert checker.process_completions(deque([op]), now=5) is op
+    assert stats.detection_latency_sum == 5
+    assert stats.detection_latency_max == 5
+
+
+def test_squash_with_an_in_flight_check_releases_the_checkers_unit():
+    """A squashed op whose *check* holds an unpipelined unit must give it
+    back: the refetched instance would otherwise stall on a phantom check."""
+    from repro.isa.opcodes import FUClass
+
+    params = checked_params(force_fault_seqs=frozenset({0}))
+    params.fu_counts = {FUClass.IALU: 4, FUClass.IMUL: 1, FUClass.FALU: 1, FUClass.FMUL: 1}
+    trace = [
+        MicroOp(op=OpClass.FDIV, dest=33),  # faulty; check completes @25
+        MicroOp(op=OpClass.IDIV, dest=2),  # check in flight (20..39) at detection
+    ]
+    core = SuperscalarCore(params)
+    stats = core.run(trace)
+    assert stats.recoveries == 1
+    assert stats.mean_detection_latency == 12.0  # fault @13, check done @25
+    fdiv, idiv = core.retired
+    assert fdiv.corrected and fdiv.seq == 0
+    # Recovery at 25, penalty 8: refetch @33, issue @34 — only possible if
+    # the squashed instance's check reservation (busy until 39) was freed.
+    assert idiv.issued_at == 34
+    assert stats.committed == 2
 
 
 def test_disabling_the_checker_between_runs_takes_effect():

@@ -57,3 +57,35 @@ def test_same_seed_gives_same_injection_sequence():
 def test_rejects_out_of_range_rate(rate):
     with pytest.raises(ValueError):
         FaultInjector(rate=rate)
+
+
+def test_divide_squashed_mid_execution_releases_its_unit():
+    """Regression: a recovery squash used to leave an in-flight divide's
+    ``busy_until`` entry in the FU pool, blocking the unit for the full
+    latency of an op that no longer existed."""
+    from repro.core import CheckerParams, CoreParams, SuperscalarCore
+    from repro.isa.opcodes import FUClass
+
+    params = CoreParams(
+        fetch_width=4,
+        issue_width=4,
+        commit_width=4,
+        window_size=32,
+        model_icache=False,
+        record_retired=True,
+        fu_counts={FUClass.IALU: 4, FUClass.IMUL: 1, FUClass.FALU: 1, FUClass.FMUL: 1},
+        checker=CheckerParams(enabled=True, force_fault_seqs=frozenset({0})),
+    )
+    trace = [
+        MicroOp(op=OpClass.IALU, dest=1),  # faulty: detected @3
+        MicroOp(op=OpClass.IDIV, dest=2),  # in flight (1..20) when squashed
+    ]
+    core = SuperscalarCore(params)
+    stats = core.run(trace)
+    assert stats.recoveries == 1
+    ialu, idiv = core.retired
+    assert ialu.corrected
+    # Recovery at 3, penalty 8: refetch @11, issue @12 — only possible if
+    # the squashed instance's reservation (busy until 20) was released.
+    assert idiv.issued_at == 12
+    assert stats.committed == 2

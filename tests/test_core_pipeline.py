@@ -6,8 +6,6 @@ first issue opportunity at t+1; commit stage runs before issue within a
 cycle; in-order commit).
 """
 
-import pytest
-
 from repro.core import CoreParams, SuperscalarCore
 from repro.isa import MicroOp, OpClass
 
@@ -161,6 +159,44 @@ def test_independent_divides_co_issue_on_the_two_table1_units():
     assert load.complete_at == 1 + cold_ready  # issued @1, cold miss
     assert use.issued_at == load.complete_at
     assert stats.cycles == use.complete_at + 1
+
+
+def test_fetch_probes_the_icache_once_per_line_not_once_per_group():
+    """Regression: only the first uop of a fetch group probed the I-cache,
+    so a group crossing into an uncached line fetched it for free.  The
+    second line here sits beyond the 4-line stream buffer, so it can only
+    miss if the per-line probe actually happens."""
+    far = 8 * 64  # 8 lines past the group's first line
+    trace = [
+        MicroOp(op=OpClass.IALU, dest=1, pc=0x40_0000),
+        MicroOp(op=OpClass.IALU, dest=2, pc=0x40_0004),
+        MicroOp(op=OpClass.IALU, dest=3, pc=0x40_0000 + far),
+        MicroOp(op=OpClass.IALU, dest=4, pc=0x40_0004 + far),
+    ]
+    core = SuperscalarCore(small_params(model_icache=True))
+    stats = core.run(trace)
+    assert stats.committed == 4
+    assert core.hierarchy.stats.ifetch_misses == 2  # was 1 before the fix
+
+
+def test_refused_memory_issue_consumes_an_issue_slot():
+    """Regression: a load bounced by the hierarchy burned no issue slot, so
+    a replay storm advertised impossible slot availability to the checker."""
+    from repro.memory.hierarchy import HierarchyParams, MemoryHierarchy
+
+    hierarchy = MemoryHierarchy(HierarchyParams(dcache_ports=1))
+    trace = [
+        MicroOp(op=OpClass.LOAD, dest=i, srcs=(0,), addr=0x1000_0000 + 64 * 16 * i)
+        for i in range(1, 5)
+    ]
+    core = SuperscalarCore(small_params(), hierarchy=hierarchy)
+    stats = core.run(trace)
+    assert stats.committed == 4
+    # One load takes the single port per cycle; each bounced attempt that
+    # cycle charges a slot: 3 + 2 + 1 refusals across the storm.
+    assert stats.mem_replays == 6
+    assert stats.replay_slots_used == 6
+    assert stats.primary_slots_used == 4
 
 
 def test_determinism_same_trace_same_stats():

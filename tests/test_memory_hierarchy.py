@@ -1,7 +1,5 @@
 """Memory hierarchy: latencies per level, ports, MSHR bounds, bus charging."""
 
-import pytest
-
 from repro.memory.hierarchy import HierarchyParams, MemoryHierarchy
 
 P = HierarchyParams()  # Table 1 defaults
