@@ -1,10 +1,23 @@
-"""Experiment runner: ``python -m repro --preset int-heavy --check``.
+"""Experiment CLI: single runs, parallel sweeps, and paper-style reports.
 
-Runs a synthetic workload through an unchecked baseline core and (with
-``--check``) through the same core with the shared-resource checker and
-fault injection enabled, then reports IPC, checker slot-steal rate,
-detection coverage and latency, and the checked-vs-unchecked slowdown —
-the headline numbers of the paper's evaluation.
+Three subcommands:
+
+* ``python -m repro run --preset int-heavy --check`` — one (preset, seed,
+  config) point through an unchecked baseline core and (with ``--check``)
+  through the same core with the shared-resource checker and fault
+  injection enabled; reports IPC, checker slot-steal rate, detection
+  coverage and latency, and the checked-vs-unchecked slowdown.
+* ``python -m repro sweep --spec grid.toml --workers 4`` — a declarative
+  cartesian grid of such points fanned out across worker processes into an
+  append-only, resumable JSONL results store (see
+  :mod:`repro.experiments`).
+* ``python -m repro report`` — aggregates a results store across seeds
+  (mean ± stddev) into the paper's tables, plus CSV and
+  ``BENCH_sweep.json`` outputs.
+
+For back-compatibility, an invocation whose first argument is not a
+subcommand (``python -m repro --preset int-heavy --check``) is treated as
+``run``.
 """
 
 from __future__ import annotations
@@ -12,14 +25,22 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from typing import Sequence
 
 from repro.core.params import CheckerParams, CoreParams
 from repro.core.core import SuperscalarCore
-from repro.workloads import PRESETS, WorkloadProfile, WrongPathGenerator, generate
+from repro.workloads import PRESET_NAMES, PRESETS, WorkloadProfile, WrongPathGenerator, generate
 
 #: Single source of truth for the depth default (the CoreParams field).
 _DEFAULT_WRONG_PATH_DEPTH = CoreParams().wrong_path_depth
+
+#: Subcommand names — anything else in argv[0] position is legacy ``run``.
+COMMANDS = ("run", "sweep", "report")
+
+#: Default results-store path shared by ``sweep`` and ``report`` so the
+#: bare two-command flow works without plumbing a path through by hand.
+DEFAULT_STORE = "sweep_results.jsonl"
 
 
 def run_experiment(
@@ -31,6 +52,7 @@ def run_experiment(
     real_predictor: bool = False,
     wrong_path: bool = True,
     wrong_path_depth: int = _DEFAULT_WRONG_PATH_DEPTH,
+    params: CoreParams | None = None,
 ) -> dict:
     """Run one preset through baseline and (optionally) checked cores.
 
@@ -38,19 +60,40 @@ def run_experiment(
     is attributable to the checker's resource sharing and recoveries.
     Wrong-path streams come from a profile-aware generator so the wasted
     work the checker competes with matches the workload's own op mix.
+
+    Args:
+        params: Optional base :class:`CoreParams` (issue width, FU counts,
+            checker slot policy, …).  The explicit keyword arguments —
+            predictor mode, wrong-path knobs, and the per-run checker
+            enable/fault-rate/seed — are applied on top of it; sweeps use
+            this to vary machine shape per grid point.
+
+    The returned dict is fully JSON-serializable (validated by the CLI
+    schema tests): stats are flattened via ``CoreStats.to_dict`` and the
+    effective machine configuration is recorded under ``"params"`` via
+    ``CoreParams.to_dict`` (enum-keyed FU counts become name-keyed).
     """
     trace = generate(profile, num_ops, seed=seed)
     wp_source = WrongPathGenerator(profile, seed=seed).stream if wrong_path else None
+    base = params if params is not None else CoreParams()
 
     def core_params(checker: CheckerParams | None = None) -> CoreParams:
-        return CoreParams(
+        return replace(
+            base,
             use_real_predictor=real_predictor,
             model_wrong_path=wrong_path,
             wrong_path_depth=wrong_path_depth,
             wrong_path_seed=seed,
-            checker=checker if checker is not None else CheckerParams(),
+            checker=(
+                checker
+                if checker is not None
+                else replace(base.checker, enabled=False, fault_rate=0.0)
+            ),
         )
 
+    checker_params = replace(
+        base.checker, enabled=True, fault_rate=fault_rate, fault_seed=seed + 1
+    )
     baseline = SuperscalarCore(core_params(), wrong_path_source=wp_source)
     baseline_stats = baseline.run(trace)
     result: dict = {
@@ -58,11 +101,11 @@ def run_experiment(
         "ops": num_ops,
         "seed": seed,
         "wrong_path": wrong_path,
+        "params": core_params(checker_params if check else None).to_dict(),
         "unchecked": baseline_stats.to_dict(),
     }
     if check:
-        checker = CheckerParams(enabled=True, fault_rate=fault_rate, fault_seed=seed + 1)
-        checked = SuperscalarCore(core_params(checker), wrong_path_source=wp_source)
+        checked = SuperscalarCore(core_params(checker_params), wrong_path_source=wp_source)
         checked_stats = checked.run(trace)
         result["checked"] = checked_stats.to_dict()
         # None (JSON null) rather than inf: json.dumps would emit the
@@ -127,17 +170,10 @@ def format_report(result: dict) -> str:
     return "\n".join(lines)
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description=(
-            "Checked-superscalar experiments: shared-resource concurrent "
-            "error detection (Smolens et al., MICRO 2004)."
-        ),
-    )
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     group = parser.add_mutually_exclusive_group()
     group.add_argument(
-        "--preset", choices=sorted(PRESETS), default="int-heavy", help="workload scenario"
+        "--preset", choices=PRESET_NAMES, default="int-heavy", help="workload scenario"
     )
     group.add_argument(
         "--all-presets", action="store_true", help="run every bundled scenario"
@@ -172,19 +208,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="max micro-ops fetched down one wrong path before waiting for resolution",
     )
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Checked-superscalar experiments: shared-resource concurrent "
+            "error detection (Smolens et al., MICRO 2004)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True, metavar="{run,sweep,report}")
+
+    run_parser = sub.add_parser(
+        "run", help="run one (preset, seed, config) experiment point"
+    )
+    _add_run_arguments(run_parser)
+
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="fan a declarative grid of experiment points out across processes",
+    )
+    sweep_parser.add_argument(
+        "--spec", required=True, help="sweep specification (.toml or .json)"
+    )
+    sweep_parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes (1 = in-process)"
+    )
+    sweep_parser.add_argument(
+        "--store",
+        default=DEFAULT_STORE,
+        help="append-only JSONL results store (resumable; already-stored points are skipped)",
+    )
+    sweep_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-run progress lines"
+    )
+
+    report_parser = sub.add_parser(
+        "report", help="aggregate a results store into the paper-style tables"
+    )
+    report_parser.add_argument(
+        "--store", default=DEFAULT_STORE, help="JSONL results store to aggregate"
+    )
+    report_parser.add_argument(
+        "--bench-json",
+        default="BENCH_sweep.json",
+        help="machine-readable aggregate output path",
+    )
+    report_parser.add_argument(
+        "--csv-dir", default=None, help="also write one CSV per table into this directory"
+    )
+    report_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable aggregate instead of text tables",
+    )
     return parser
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    parser = build_parser()
-    args = parser.parse_args(argv)
+def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     if not 0.0 <= args.fault_rate <= 1.0:
         parser.error(f"--fault-rate must be in [0, 1], got {args.fault_rate}")
     if args.ops < 0:
         parser.error(f"--ops must be non-negative, got {args.ops}")
     if args.wrong_path_depth <= 0:
         parser.error(f"--wrong-path-depth must be positive, got {args.wrong_path_depth}")
-    names = sorted(PRESETS) if args.all_presets else [args.preset]
+    names = list(PRESET_NAMES) if args.all_presets else [args.preset]
     results = [
         run_experiment(
             PRESETS[name],
@@ -203,6 +292,86 @@ def main(argv: Sequence[str] | None = None) -> int:
     else:
         print("\n\n".join(format_report(result) for result in results))
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    # Imported here (not module level): repro.experiments imports
+    # run_experiment from this module.
+    from repro.experiments import ResultsStore, SweepSpec, run_sweep
+
+    if args.workers <= 0:
+        parser.error(f"--workers must be positive, got {args.workers}")
+    try:
+        spec = SweepSpec.load(args.spec)
+    except (OSError, ValueError, TypeError) as exc:
+        # TypeError covers wrong-shaped documents (a scalar where a list
+        # axis or table is expected) that surface from dataclass plumbing.
+        parser.error(f"cannot load sweep spec {args.spec!r}: {exc}")
+    store = ResultsStore(args.store)
+
+    def progress(done: int, total: int, row: dict) -> None:
+        config = row.get("config", {})
+        detail = (
+            f"slowdown={row['result'].get('slowdown'):.3f}"
+            if row.get("status") == "ok" and row["result"].get("slowdown") is not None
+            else row.get("status", "?")
+        )
+        print(
+            f"[{done}/{total}] {row.get('status', '?'):5s} "
+            f"preset={config.get('preset')} seed={config.get('seed')} "
+            f"fault_rate={config.get('fault_rate')} {detail}",
+            flush=True,
+        )
+
+    summary = run_sweep(
+        spec,
+        store,
+        workers=args.workers,
+        progress=None if args.quiet else progress,
+    )
+    print(
+        f"sweep '{spec.name}': {summary.total} points — "
+        f"executed {summary.executed}, cached {summary.cached}, "
+        f"errors {summary.errors} -> {store.path}"
+    )
+    return 1 if summary.errors else 0
+
+
+def _cmd_report(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.experiments import ResultsStore, aggregate, render_text, write_bench_json
+    from repro.experiments import write_csv_tables
+
+    store = ResultsStore(args.store)
+    rows = store.ok_rows()
+    if not rows:
+        print(
+            f"no completed runs in {store.path} — run `python -m repro sweep` first",
+            file=sys.stderr,
+        )
+        return 1
+    aggregated = aggregate(rows, source=str(store.path))
+    write_bench_json(aggregated, args.bench_json)
+    if args.csv_dir:
+        write_csv_tables(aggregated, args.csv_dir)
+    if args.json:
+        print(json.dumps(aggregated, indent=2, sort_keys=True))
+    else:
+        print(render_text(aggregated))
+        print(f"\nwrote {args.bench_json}", end="")
+        print(f" and CSV tables under {args.csv_dir}" if args.csv_dir else "")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Legacy interface: `python -m repro --preset int-heavy --check` (and
+    # the bare `python -m repro`) predate subcommands and mean `run`.
+    if not argv or (argv[0] not in COMMANDS and argv[0] not in ("-h", "--help")):
+        argv = ["run", *argv]
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = {"run": _cmd_run, "sweep": _cmd_sweep, "report": _cmd_report}[args.command]
+    return handler(args, parser)
 
 
 if __name__ == "__main__":

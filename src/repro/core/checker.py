@@ -61,6 +61,7 @@ class Checker:
                 fault_at = op.fault_at if op.fault_at is not None else op.check_complete_at
                 latency = op.check_complete_at - fault_at
                 self._stats.detection_latency_sum += latency
+                self._stats.detection_latencies.append(latency)
                 self._stats.detection_latency_max = max(
                     self._stats.detection_latency_max, latency
                 )

@@ -161,9 +161,21 @@ class SuperscalarCore:
                 self._recover(faulty, now)
         self._commit(now)
         self._fu.begin_cycle(now)
-        slots_left = self._issue_primary(now)
+        # Under the "reserved" policy the issue stage is statically
+        # partitioned: the primary stream never sees the checker's slots,
+        # and the checker gets its reservation plus whatever the capped
+        # primary stream still left idle.  "opportunistic" (the paper's
+        # scheme) gives the primary stream the full width and the checker
+        # only the leftovers.
+        cp = self.params.checker
+        reserved = (
+            cp.reserved_slots
+            if self.checker is not None and cp.slot_policy == "reserved"
+            else 0
+        )
+        slots_left = self._issue_primary(now, self.params.issue_width - reserved)
         if self.checker is not None:
-            self.checker.issue(self._window, now, slots_left)
+            self.checker.issue(self._window, now, slots_left + reserved)
         self._fetch(now)
         self._now = now + 1
 
@@ -187,9 +199,9 @@ class SuperscalarCore:
 
     # ----------------------------------------------------------------- issue
 
-    def _issue_primary(self, now: int) -> int:
-        """Oldest-first OOO issue; returns leftover issue slots."""
-        slots = self.params.issue_width
+    def _issue_primary(self, now: int, budget: int) -> int:
+        """Oldest-first OOO issue into ``budget`` slots; returns leftovers."""
+        slots = budget
         for op in self._window:
             if slots == 0:
                 break

@@ -8,14 +8,22 @@ system is configured separately through
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping
+from dataclasses import dataclass, field, fields
+from typing import Any, Mapping
 
 from repro.isa.opcodes import FUClass
 
 
 def _table1_fus() -> dict[FUClass, int]:
     return {FUClass.IALU: 8, FUClass.IMUL: 2, FUClass.FALU: 2, FUClass.FMUL: 2}
+
+
+#: Checker issue-slot policies.  ``opportunistic`` is the paper's scheme —
+#: the checker only consumes slots the primary scheduler left idle this
+#: cycle.  ``reserved`` statically partitions the issue stage: the primary
+#: stream is capped at ``issue_width - reserved_slots`` and the checker is
+#: guaranteed its reservation (plus any further leftovers) every cycle.
+SLOT_POLICIES: tuple[str, ...] = ("opportunistic", "reserved")
 
 
 @dataclass(slots=True)
@@ -31,6 +39,10 @@ class CheckerParams:
             is always corrupted — used by tests to place faults precisely.
         recovery_penalty: Cycles between detection and the restart of fetch
             after a squash (checkpoint-restore cost).
+        slot_policy: How the checker obtains issue slots (one of
+            :data:`SLOT_POLICIES`).
+        reserved_slots: Issue slots per cycle set aside for the checker
+            under the ``reserved`` policy (ignored when ``opportunistic``).
     """
 
     enabled: bool = False
@@ -38,6 +50,48 @@ class CheckerParams:
     fault_seed: int = 7
     force_fault_seqs: frozenset[int] = frozenset()
     recovery_penalty: int = 8
+    slot_policy: str = "opportunistic"
+    reserved_slots: int = 2
+
+    def __post_init__(self) -> None:
+        if self.slot_policy not in SLOT_POLICIES:
+            raise ValueError(
+                f"slot_policy must be one of {SLOT_POLICIES}, got {self.slot_policy!r}"
+            )
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise ValueError(f"fault_rate must be in [0, 1], got {self.fault_rate}")
+        if self.reserved_slots <= 0 and self.slot_policy == "reserved":
+            raise ValueError("reserved_slots must be positive under the reserved policy")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable snapshot (``force_fault_seqs`` as a sorted list)."""
+        return {
+            "enabled": self.enabled,
+            "fault_rate": self.fault_rate,
+            "fault_seed": self.fault_seed,
+            "force_fault_seqs": sorted(self.force_fault_seqs),
+            "recovery_penalty": self.recovery_penalty,
+            "slot_policy": self.slot_policy,
+            "reserved_slots": self.reserved_slots,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CheckerParams":
+        """Inverse of :meth:`to_dict`; rejects unknown keys.
+
+        Raises:
+            ValueError: on keys that are not ``CheckerParams`` fields, so a
+                stale sweep spec fails loudly instead of silently dropping a
+                knob.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown CheckerParams keys: {sorted(unknown)}")
+        kwargs = dict(data)
+        if "force_fault_seqs" in kwargs:
+            kwargs["force_fault_seqs"] = frozenset(kwargs["force_fault_seqs"])
+        return cls(**kwargs)
 
 
 @dataclass(slots=True)
@@ -91,3 +145,49 @@ class CoreParams:
             raise ValueError("wrong_path_depth must be positive")
         if any(count <= 0 for count in self.fu_counts.values()):
             raise ValueError("every functional-unit count must be positive")
+        if (
+            self.checker.slot_policy == "reserved"
+            and self.checker.reserved_slots >= self.issue_width
+        ):
+            raise ValueError(
+                f"reserved_slots ({self.checker.reserved_slots}) must leave the "
+                f"primary stream at least one of the {self.issue_width} issue slots"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable snapshot (FU classes by name, checker nested)."""
+        return {
+            "fetch_width": self.fetch_width,
+            "issue_width": self.issue_width,
+            "commit_width": self.commit_width,
+            "window_size": self.window_size,
+            "fu_counts": {cls.name: count for cls, count in self.fu_counts.items()},
+            "mispredict_penalty": self.mispredict_penalty,
+            "model_wrong_path": self.model_wrong_path,
+            "wrong_path_depth": self.wrong_path_depth,
+            "wrong_path_seed": self.wrong_path_seed,
+            "model_icache": self.model_icache,
+            "use_real_predictor": self.use_real_predictor,
+            "record_retired": self.record_retired,
+            "checker": self.checker.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CoreParams":
+        """Inverse of :meth:`to_dict`; rejects unknown keys.
+
+        Accepts partial dicts — missing fields keep their defaults — so
+        sweep specs only name the axes they vary.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown CoreParams keys: {sorted(unknown)}")
+        kwargs = dict(data)
+        if "fu_counts" in kwargs:
+            kwargs["fu_counts"] = {
+                FUClass[name]: int(count) for name, count in kwargs["fu_counts"].items()
+            }
+        if "checker" in kwargs and not isinstance(kwargs["checker"], CheckerParams):
+            kwargs["checker"] = CheckerParams.from_dict(kwargs["checker"])
+        return cls(**kwargs)

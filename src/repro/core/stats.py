@@ -42,6 +42,10 @@ class CoreStats:
     recoveries: int = 0
     detection_latency_sum: int = 0
     detection_latency_max: int = 0
+    #: Per-detection latencies, in detection order — the raw samples behind
+    #: the sum/max aggregates, kept so reports can show distributions
+    #: (percentiles, histograms) rather than just the mean.
+    detection_latencies: list[int] = field(default_factory=list)
     memory: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -97,8 +101,8 @@ class CoreStats:
             return 0.0
         return self.branch_mispredicts / self.branches
 
-    def to_dict(self) -> dict[str, float]:
-        """Flatten counters and derived rates for reports."""
+    def to_dict(self) -> dict[str, float | list[int]]:
+        """Flatten counters and derived rates for reports (JSON-serializable)."""
         return {
             "cycles": self.cycles,
             "committed": self.committed,
@@ -126,5 +130,6 @@ class CoreStats:
             "recoveries": self.recoveries,
             "mean_detection_latency": self.mean_detection_latency,
             "max_detection_latency": self.detection_latency_max,
+            "detection_latencies": list(self.detection_latencies),
             **{f"mem_{key}": value for key, value in self.memory.items()},
         }

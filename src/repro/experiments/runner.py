@@ -1,0 +1,141 @@
+"""Multiprocess sweep execution.
+
+``run_sweep`` expands a :class:`~repro.experiments.spec.SweepSpec`, drops
+every point whose config hash is already in the store (resume/caching),
+and fans the rest out over a :mod:`multiprocessing` pool.  Three
+properties the tests pin down:
+
+* **Determinism** — each point's config carries its own seeds (workload
+  seed, fault seed = seed + 1, wrong-path seed) and workers share no
+  state, so results are a pure function of the config.  Rows are appended
+  in submission order (``imap``, not ``imap_unordered``), making the
+  store byte-identical for any ``--workers`` value.
+* **Crash isolation** — :func:`execute_point` catches everything and
+  returns an error row; one pathological point cannot take down the sweep,
+  and error rows are retried on the next invocation.
+* **Streaming** — rows are appended (and progress reported) as each point
+  finishes, so an interrupted sweep keeps its completed prefix.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.experiments.spec import RunPoint, SCHEMA_VERSION, config_hash
+from repro.experiments.store import ResultsStore
+
+#: Progress callback: (completed count, pending total, the row just stored).
+ProgressFn = Callable[[int, int, dict], None]
+
+
+@dataclass(slots=True)
+class SweepSummary:
+    """What one ``run_sweep`` invocation did."""
+
+    total: int  #: points in the expanded grid
+    cached: int  #: skipped — already completed in the store (or in-grid dupes)
+    executed: int  #: actually simulated this invocation
+    errors: int  #: executed points that produced error rows
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "total": self.total,
+            "cached": self.cached,
+            "executed": self.executed,
+            "errors": self.errors,
+        }
+
+
+def execute_point(config: dict[str, Any]) -> dict[str, Any]:
+    """Run one grid point; always returns a row, never raises.
+
+    Top-level (picklable) so it works under any multiprocessing start
+    method.  The import is deferred so pool workers spawned under
+    ``spawn`` pay it once here rather than at module import in the parent.
+    """
+    row: dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "config_hash": config_hash(config),
+        "config": config,
+    }
+    try:
+        from repro.cli import run_experiment
+        from repro.workloads import preset
+
+        point = RunPoint.from_config(config)
+        row["group_hash"] = point.group_hash()
+        result = run_experiment(
+            preset(point.preset),
+            num_ops=point.ops,
+            seed=point.seed,
+            check=True,
+            fault_rate=point.fault_rate,
+            real_predictor=point.real_predictor,
+            wrong_path=point.wrong_path,
+            wrong_path_depth=point.wrong_path_depth,
+            params=point.core_params(),
+        )
+    except Exception:
+        row["status"] = "error"
+        row["error"] = traceback.format_exc()
+        return row
+    row["status"] = "ok"
+    row["result"] = result
+    return row
+
+
+def _pending_points(
+    points: Iterable[RunPoint], store: ResultsStore
+) -> tuple[list[RunPoint], int]:
+    """Points still to run, and how many the store (or in-grid dupes) covers."""
+    done = store.completed_hashes()
+    seen: set[str] = set()
+    pending: list[RunPoint] = []
+    cached = 0
+    for point in points:
+        digest = point.config_hash()
+        if digest in done or digest in seen:
+            cached += 1
+            continue
+        seen.add(digest)
+        pending.append(point)
+    return pending, cached
+
+
+def run_sweep(
+    spec,
+    store: ResultsStore,
+    workers: int = 1,
+    progress: ProgressFn | None = None,
+) -> SweepSummary:
+    """Execute every not-yet-stored point of ``spec`` into ``store``."""
+    points = spec.points()
+    pending, cached = _pending_points(points, store)
+    configs = [point.config() for point in pending]
+    executed = 0
+    errors = 0
+    for row in _result_rows(configs, workers):
+        store.append(row)
+        executed += 1
+        if row.get("status") != "ok":
+            errors += 1
+        if progress is not None:
+            progress(executed, len(configs), row)
+    return SweepSummary(
+        total=len(points), cached=cached, executed=executed, errors=errors
+    )
+
+
+def _result_rows(
+    configs: list[dict[str, Any]], workers: int
+) -> Iterator[dict[str, Any]]:
+    if workers <= 1 or len(configs) <= 1:
+        yield from map(execute_point, configs)
+        return
+    with multiprocessing.Pool(processes=min(workers, len(configs))) as pool:
+        # Ordered imap: rows stream back as they finish but are yielded in
+        # submission order, so the store layout is worker-count-invariant.
+        yield from pool.imap(execute_point, configs, chunksize=1)

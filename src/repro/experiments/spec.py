@@ -1,0 +1,358 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` names the axes the paper's evaluation varies —
+workload preset, seed, fault rate, issue width, functional-unit
+complement, checker slot policy, wrong-path knobs — and expands to the
+cartesian product of concrete :class:`RunPoint`\\ s.  Specs load from TOML
+(Python 3.11's ``tomllib``) or JSON; both accept either a top-level
+``[sweep]`` table or a flat document.
+
+Every point serializes to a canonical JSON config whose SHA-256 prefix is
+the point's identity in the results store: the same spec always hashes to
+the same points, which is what makes sweeps resumable and cacheable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import tomllib
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.core.params import CoreParams, SLOT_POLICIES
+from repro.isa.opcodes import FUClass
+from repro.workloads import PRESET_NAMES
+
+#: Version stamp written into every config and results row; bump on any
+#: incompatible change to the config or row layout.
+SCHEMA_VERSION = 1
+
+#: Valid FU-count keys in a spec's ``fu_variants`` tables.
+_FU_NAMES = tuple(cls.name for cls in FUClass)
+
+#: Canonical wrong_path_depth written into configs of wrong_path=False
+#: points, where the knob is inert — kept a valid (positive) depth so the
+#: config still round-trips through RunPoint/CoreParams validation.
+_INERT_WRONG_PATH_DEPTH = CoreParams().wrong_path_depth
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def config_hash(config: Mapping[str, Any]) -> str:
+    """Stable 64-bit-ish identity of one canonical config dict."""
+    return hashlib.sha256(canonical_json(config).encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(slots=True, frozen=True)
+class RunPoint:
+    """One fully-specified experiment: a cell of the sweep grid.
+
+    ``fu_counts`` is either ``None`` (the Table 1 complement) or a sorted
+    tuple of ``(FU class name, count)`` pairs — a hashable canonical form
+    so identical variants written in different key orders collapse to the
+    same config hash.
+    """
+
+    preset: str
+    seed: int
+    ops: int
+    fault_rate: float
+    issue_width: int
+    slot_policy: str
+    reserved_slots: int
+    wrong_path: bool
+    wrong_path_depth: int
+    real_predictor: bool
+    fu_counts: tuple[tuple[str, int], ...] | None
+
+    def config(self) -> dict[str, Any]:
+        """The canonical, JSON-serializable identity of this point.
+
+        Inert knobs are normalized before hashing so behaviorally
+        identical points share a cache identity: ``reserved_slots`` only
+        exists under the ``reserved`` policy, and ``wrong_path_depth``
+        only matters when wrong-path modelling is on.  Without this,
+        editing an ignored spec field would invalidate every stored row.
+        """
+        return {
+            "schema": SCHEMA_VERSION,
+            "preset": self.preset,
+            "seed": self.seed,
+            "ops": self.ops,
+            "fault_rate": self.fault_rate,
+            "issue_width": self.issue_width,
+            "slot_policy": self.slot_policy,
+            "reserved_slots": self.reserved_slots if self.slot_policy == "reserved" else 0,
+            "wrong_path": self.wrong_path,
+            "wrong_path_depth": (
+                self.wrong_path_depth if self.wrong_path else _INERT_WRONG_PATH_DEPTH
+            ),
+            "real_predictor": self.real_predictor,
+            "fu_counts": dict(self.fu_counts) if self.fu_counts is not None else None,
+        }
+
+    def config_hash(self) -> str:
+        return config_hash(self.config())
+
+    def group_config(self) -> dict[str, Any]:
+        """The config with the seed removed — the cross-seed aggregation key."""
+        config = self.config()
+        del config["seed"]
+        return config
+
+    def group_hash(self) -> str:
+        return config_hash(self.group_config())
+
+    def fu_label(self) -> str:
+        """Compact FU-complement label for table rows (``table1`` default)."""
+        if self.fu_counts is None:
+            return "table1"
+        return "-".join(f"{name.lower()}{count}" for name, count in self.fu_counts)
+
+    def core_params(self) -> CoreParams:
+        """Build the machine shape this point simulates.
+
+        Run-level knobs (predictor mode, wrong-path modelling, checker
+        enable/fault seed) are layered on by ``run_experiment``; this
+        carries only what the grid varies.
+        """
+        data: dict[str, Any] = {
+            "issue_width": self.issue_width,
+            "checker": {
+                "slot_policy": self.slot_policy,
+                "reserved_slots": self.reserved_slots,
+            },
+        }
+        if self.fu_counts is not None:
+            data["fu_counts"] = dict(self.fu_counts)
+        return CoreParams.from_dict(data)
+
+    @classmethod
+    def from_config(cls, config: Mapping[str, Any]) -> "RunPoint":
+        """Rebuild a point from a stored config dict.
+
+        Raises:
+            ValueError: if the schema version or any field is unusable —
+                the runner turns this into an error row rather than a
+                crashed worker.
+        """
+        data = dict(config)
+        schema = data.pop("schema", None)
+        if schema != SCHEMA_VERSION:
+            raise ValueError(f"unsupported config schema {schema!r}")
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown config keys: {sorted(unknown)}")
+        missing = known - set(data)
+        if missing:
+            raise ValueError(f"missing config keys: {sorted(missing)}")
+        fu_counts = data["fu_counts"]
+        data["fu_counts"] = _normalize_fu_variant(fu_counts) if fu_counts is not None else None
+        point = cls(**data)
+        _validate_point(point)
+        return point
+
+
+def _normalize_fu_variant(variant: Mapping[str, Any]) -> tuple[tuple[str, int], ...]:
+    unknown = set(variant) - set(_FU_NAMES)
+    if unknown:
+        raise ValueError(
+            f"unknown FU classes {sorted(unknown)}; valid names: {list(_FU_NAMES)}"
+        )
+    counts = {name: int(count) for name, count in variant.items()}
+    if any(count <= 0 for count in counts.values()):
+        raise ValueError(f"FU counts must be positive, got {counts}")
+    # Every class is pinned explicitly so a variant is self-contained (no
+    # silent fallback to Table 1 for an omitted class).
+    missing = set(_FU_NAMES) - set(counts)
+    if missing:
+        raise ValueError(f"fu variant must name every class; missing {sorted(missing)}")
+    return tuple(sorted(counts.items()))
+
+
+def _validate_point(point: RunPoint) -> None:
+    if point.preset not in PRESET_NAMES:
+        raise ValueError(
+            f"unknown preset {point.preset!r}; choose from {list(PRESET_NAMES)}"
+        )
+    if point.ops < 0:
+        raise ValueError(f"ops must be non-negative, got {point.ops}")
+    if not 0.0 <= point.fault_rate <= 1.0:
+        raise ValueError(f"fault_rate must be in [0, 1], got {point.fault_rate}")
+    if point.slot_policy not in SLOT_POLICIES:
+        raise ValueError(
+            f"slot_policy must be one of {SLOT_POLICIES}, got {point.slot_policy!r}"
+        )
+    if point.issue_width <= 0 or point.wrong_path_depth <= 0:
+        raise ValueError("issue_width and wrong_path_depth must be positive")
+    if point.slot_policy == "reserved" and not 0 < point.reserved_slots < point.issue_width:
+        raise ValueError(
+            f"reserved_slots must be in (0, issue_width), got {point.reserved_slots} "
+            f"with issue_width {point.issue_width}"
+        )
+
+
+def _default_fault_rates() -> list[float]:
+    return [1e-4]
+
+
+def _default_issue_widths() -> list[int]:
+    return [8]
+
+
+def _default_slot_policies() -> list[str]:
+    return ["opportunistic"]
+
+
+def _default_wrong_path() -> list[bool]:
+    return [True]
+
+
+def _default_wrong_path_depths() -> list[int]:
+    return [CoreParams().wrong_path_depth]
+
+
+def _default_fu_variants() -> list[dict[str, int] | None]:
+    return [None]
+
+
+@dataclass(slots=True)
+class SweepSpec:
+    """A cartesian grid of experiments.
+
+    List-valued fields are grid *axes*; scalar fields apply to every
+    point.  ``fu_variants`` entries are complete FU-count tables (every
+    class named), or ``None`` for the Table 1 defaults; TOML cannot spell
+    ``None``, so a TOML spec that lists variants and also wants the
+    default complement includes it explicitly.
+    """
+
+    name: str
+    presets: list[str]
+    seeds: list[int]
+    ops: int = 20_000
+    fault_rates: list[float] = field(default_factory=_default_fault_rates)
+    issue_widths: list[int] = field(default_factory=_default_issue_widths)
+    slot_policies: list[str] = field(default_factory=_default_slot_policies)
+    reserved_slots: int = 2
+    wrong_path: list[bool] = field(default_factory=_default_wrong_path)
+    wrong_path_depths: list[int] = field(default_factory=_default_wrong_path_depths)
+    real_predictor: bool = False
+    fu_variants: list[dict[str, int] | None] = field(default_factory=_default_fu_variants)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("sweep name must be non-empty")
+        for axis in (
+            "presets",
+            "seeds",
+            "fault_rates",
+            "issue_widths",
+            "slot_policies",
+            "wrong_path",
+            "wrong_path_depths",
+            "fu_variants",
+        ):
+            values = getattr(self, axis)
+            if not isinstance(values, (list, tuple)):
+                raise ValueError(
+                    f"axis {axis!r} must be a list, got {type(values).__name__} "
+                    f"({values!r})"
+                )
+            if not values:
+                raise ValueError(f"axis {axis!r} must list at least one value")
+            if len(set(map(repr, values))) != len(values):
+                raise ValueError(f"axis {axis!r} contains duplicate values")
+        # Point-level constraints are validated per point in points(), but
+        # axis-level mistakes should fail at load time with a clear name.
+        for preset_name in self.presets:
+            if preset_name not in PRESET_NAMES:
+                raise ValueError(
+                    f"unknown preset {preset_name!r}; choose from {list(PRESET_NAMES)}"
+                )
+        for policy in self.slot_policies:
+            if policy not in SLOT_POLICIES:
+                raise ValueError(
+                    f"slot_policy must be one of {SLOT_POLICIES}, got {policy!r}"
+                )
+        # Expand the grid once now so every point-level constraint (bad FU
+        # variant, reserved_slots vs issue_width, …) surfaces at load time
+        # as a clean ValueError, not mid-sweep.
+        self.points()
+
+    def points(self) -> list[RunPoint]:
+        """Expand the grid, seeds innermost so one config's seeds are adjacent."""
+        out: list[RunPoint] = []
+        for (
+            preset_name,
+            fault_rate,
+            issue_width,
+            slot_policy,
+            wrong_path,
+            wrong_path_depth,
+            fu_variant,
+            seed,
+        ) in itertools.product(
+            self.presets,
+            self.fault_rates,
+            self.issue_widths,
+            self.slot_policies,
+            self.wrong_path,
+            self.wrong_path_depths,
+            self.fu_variants,
+            self.seeds,
+        ):
+            point = RunPoint(
+                preset=preset_name,
+                seed=seed,
+                ops=self.ops,
+                fault_rate=fault_rate,
+                issue_width=issue_width,
+                slot_policy=slot_policy,
+                reserved_slots=self.reserved_slots,
+                wrong_path=wrong_path,
+                wrong_path_depth=wrong_path_depth,
+                real_predictor=self.real_predictor,
+                fu_counts=(
+                    _normalize_fu_variant(fu_variant) if fu_variant is not None else None
+                ),
+            )
+            _validate_point(point)
+            out.append(point)
+        return out
+
+    def num_points(self) -> int:
+        return len(self.points())
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        """Build a spec from a parsed document; rejects unknown keys."""
+        if "sweep" in data and isinstance(data["sweep"], Mapping):
+            data = data["sweep"]
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown sweep keys: {sorted(unknown)}")
+        return cls(**dict(data))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SweepSpec":
+        """Load a ``.toml`` or ``.json`` spec file."""
+        path = Path(path)
+        if path.suffix.lower() == ".toml":
+            with path.open("rb") as fh:
+                document = tomllib.load(fh)
+        elif path.suffix.lower() == ".json":
+            document = json.loads(path.read_text(encoding="utf-8"))
+        else:
+            raise ValueError(f"unsupported spec format {path.suffix!r} (use .toml or .json)")
+        if not isinstance(document, Mapping):
+            raise ValueError("sweep spec must be a table/object at top level")
+        return cls.from_dict(document)

@@ -1,0 +1,82 @@
+"""Append-only JSONL results store.
+
+One line per completed (or failed) experiment point, written in canonical
+JSON so the same sweep always produces byte-identical files regardless of
+worker count.  The store is the sweep's resume state: points whose config
+hash already appears with ``status == "ok"`` are skipped on re-runs, while
+error rows are retried.
+
+A truncated final line (a crash mid-append) is tolerated on read — the
+damaged line is counted in :attr:`ResultsStore.skipped_lines` and the
+corresponding point simply re-runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.spec import canonical_json
+
+
+class ResultsStore:
+    """JSONL rows keyed by ``config_hash``; append-only by construction."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        #: Lines the last ``rows()`` call could not parse (corruption from
+        #: an interrupted write); the points they held will re-run.
+        self.skipped_lines = 0
+
+    def append(self, row: dict[str, Any]) -> None:
+        """Write one row and flush — a crashed sweep loses at most one line."""
+        if self.path.parent != Path("."):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a+b") as fh:
+            # Heal a crash-truncated tail: without this, the new row would
+            # concatenate onto the partial line and be lost with it.
+            fh.seek(0, 2)
+            if fh.tell() > 0:
+                fh.seek(-1, 2)
+                if fh.read(1) != b"\n":
+                    fh.write(b"\n")
+            fh.write((canonical_json(row) + "\n").encode("utf-8"))
+            fh.flush()
+
+    def rows(self) -> list[dict[str, Any]]:
+        """All parseable rows, in append order."""
+        if not self.path.exists():
+            return []
+        out: list[dict[str, Any]] = []
+        self.skipped_lines = 0
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError:
+                    self.skipped_lines += 1
+                    continue
+                if isinstance(row, dict):
+                    out.append(row)
+                else:
+                    self.skipped_lines += 1
+        return out
+
+    def ok_rows(self) -> list[dict[str, Any]]:
+        """Rows of successfully-completed runs (what reports aggregate)."""
+        return [row for row in self.rows() if row.get("status") == "ok"]
+
+    def completed_hashes(self) -> set[str]:
+        """Config hashes that never need to run again (errors are retried)."""
+        return {
+            row["config_hash"]
+            for row in self.rows()
+            if row.get("status") == "ok" and "config_hash" in row
+        }
+
+    def __len__(self) -> int:
+        return len(self.rows())

@@ -6,10 +6,11 @@ profile knobs, and four presets (``int-heavy``, ``fp-heavy``,
 ``memory-bound``, ``branchy``) cover the qualitative regimes.
 """
 
-from repro.workloads.profiles import PRESETS, WorkloadProfile, preset
+from repro.workloads.profiles import PRESET_NAMES, PRESETS, WorkloadProfile, preset
 from repro.workloads.synthetic import TraceGenerator, WrongPathGenerator, generate
 
 __all__ = [
+    "PRESET_NAMES",
     "PRESETS",
     "TraceGenerator",
     "WorkloadProfile",

@@ -140,6 +140,11 @@ PRESETS: dict[str, WorkloadProfile] = {
 }
 
 
+#: Preset names in stable (sorted) order — the canonical ordering for CLI
+#: choices, sweep-spec validation, and report rows.
+PRESET_NAMES: tuple[str, ...] = tuple(sorted(PRESETS))
+
+
 def preset(name: str) -> WorkloadProfile:
     """Look up a preset by name.
 

@@ -7,6 +7,26 @@ import pytest
 from repro.cli import main, run_experiment
 from repro.workloads import preset
 
+#: Pinned top-level layout of one run_experiment result; sweep rows embed
+#: these dicts, so key drift breaks stored results — change deliberately.
+RESULT_KEYS = {"preset", "ops", "seed", "wrong_path", "params", "unchecked"}
+CHECKED_RESULT_KEYS = RESULT_KEYS | {"checked", "slowdown", "fault_coverage"}
+PARAMS_KEYS = {
+    "fetch_width",
+    "issue_width",
+    "commit_width",
+    "window_size",
+    "fu_counts",
+    "mispredict_penalty",
+    "model_wrong_path",
+    "wrong_path_depth",
+    "wrong_path_seed",
+    "model_icache",
+    "use_real_predictor",
+    "record_retired",
+    "checker",
+}
+
 
 def test_json_report_checked_vs_unchecked(capsys):
     exit_code = main(
@@ -77,3 +97,134 @@ def test_run_experiment_returns_slowdown_only_when_checked():
     assert "checked" not in result and "slowdown" not in result
     result = run_experiment(preset("int-heavy"), num_ops=300, check=True, fault_rate=0.0)
     assert result["slowdown"] > 0
+
+
+# ------------------------------------------------------- subcommands / legacy
+
+
+def test_explicit_run_subcommand_matches_legacy_invocation(capsys):
+    args = ["--preset", "branchy", "--ops", "400", "--check", "--json"]
+    assert main(["run", *args]) == 0
+    explicit = capsys.readouterr().out
+    assert main(args) == 0  # legacy: no subcommand
+    legacy = capsys.readouterr().out
+    assert json.loads(explicit) == json.loads(legacy)
+
+
+def test_bare_invocation_still_runs_the_default_preset(capsys):
+    assert main([]) == 0
+    assert "preset=int-heavy" in capsys.readouterr().out
+
+
+def test_json_result_schema_is_stable_and_serializable(capsys):
+    main(["--preset", "int-heavy", "--ops", "400", "--check", "--fault-rate",
+          "0.01", "--json"])
+    result = json.loads(capsys.readouterr().out)
+    # Exact round-trip: no enum keys, dataclasses, or non-finite floats
+    # survived json.dumps (they would change or fail the reload).
+    assert json.loads(json.dumps(result)) == result
+    assert set(result) == CHECKED_RESULT_KEYS
+    assert set(result["params"]) == PARAMS_KEYS
+    assert set(result["params"]["fu_counts"]) == {"IALU", "IMUL", "FALU", "FMUL"}
+    assert result["params"]["checker"]["enabled"] is True
+    assert result["params"]["checker"]["fault_rate"] == 0.01
+    assert isinstance(result["checked"]["detection_latencies"], list)
+    unchecked_only = run_experiment(preset("int-heavy"), num_ops=200, check=False)
+    assert set(unchecked_only) == RESULT_KEYS
+
+
+def test_run_experiment_params_override_machine_shape():
+    from repro.core.params import CheckerParams, CoreParams
+
+    result = run_experiment(
+        preset("int-heavy"),
+        num_ops=300,
+        check=True,
+        fault_rate=0.01,
+        params=CoreParams(
+            issue_width=4,
+            checker=CheckerParams(slot_policy="reserved", reserved_slots=1),
+        ),
+    )
+    assert result["params"]["issue_width"] == 4
+    assert result["params"]["checker"]["slot_policy"] == "reserved"
+    # The baseline core ran unchecked even though the template had a checker.
+    assert result["unchecked"]["checks_completed"] == 0
+    assert result["checked"]["checks_completed"] > 0
+
+
+# ------------------------------------------------------------ sweep / report
+
+SWEEP_TOML = """
+[sweep]
+name = "cli-e2e"
+ops = 300
+presets = ["int-heavy"]
+seeds = [0, 1, 2]
+fault_rates = [0.01]
+"""
+
+
+def test_sweep_and_report_end_to_end(tmp_path, capsys, monkeypatch):
+    spec = tmp_path / "spec.toml"
+    spec.write_text(SWEEP_TOML)
+    store = tmp_path / "results.jsonl"
+    argv = ["sweep", "--spec", str(spec), "--store", str(store), "--workers", "2"]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "executed 3" in out and "[3/3]" in out
+    # Resume: everything cached, nothing executed.
+    assert main(argv) == 0
+    assert "executed 0, cached 3" in capsys.readouterr().out
+
+    monkeypatch.chdir(tmp_path)  # BENCH_sweep.json lands in cwd by default
+    assert main(["report", "--store", str(store), "--csv-dir", str(tmp_path / "csv")]) == 0
+    out = capsys.readouterr().out
+    assert "int-heavy" in out and "slowdown_mean" in out
+    payload = json.loads((tmp_path / "BENCH_sweep.json").read_text())
+    assert payload["n_rows"] == 3
+    assert payload["groups"][0]["n_seeds"] == 3
+    assert (tmp_path / "csv" / "slowdown.csv").exists()
+
+
+def test_report_json_mode_prints_the_payload(tmp_path, capsys, monkeypatch):
+    spec = tmp_path / "spec.toml"
+    spec.write_text(SWEEP_TOML.replace("seeds = [0, 1, 2]", "seeds = [0]"))
+    store = tmp_path / "results.jsonl"
+    assert main(["sweep", "--spec", str(spec), "--store", str(store), "--quiet"]) == 0
+    capsys.readouterr()  # drop the sweep summary line
+    monkeypatch.chdir(tmp_path)
+    assert main(["report", "--store", str(store), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["n_groups"] == 1
+
+
+def test_report_on_missing_store_fails_cleanly(tmp_path, capsys):
+    assert main(["report", "--store", str(tmp_path / "nope.jsonl")]) == 1
+    assert "no completed runs" in capsys.readouterr().err
+
+
+def test_sweep_rejects_bad_spec_and_workers(tmp_path):
+    spec = tmp_path / "spec.toml"
+    spec.write_text(SWEEP_TOML)
+    with pytest.raises(SystemExit):
+        main(["sweep", "--spec", str(tmp_path / "missing.toml")])
+    with pytest.raises(SystemExit):
+        main(["sweep", "--spec", str(spec), "--workers", "0"])
+    bad = tmp_path / "bad.toml"
+    bad.write_text('[sweep]\nname = "x"\npresets = ["nope"]\nseeds = [0]\n')
+    with pytest.raises(SystemExit):
+        main(["sweep", "--spec", str(bad)])
+    # Wrong-shaped documents (scalar axis) and cross-axis constraint
+    # violations are clean argparse errors too, not tracebacks.
+    scalar = tmp_path / "scalar.toml"
+    scalar.write_text('[sweep]\nname = "x"\npresets = ["int-heavy"]\nseeds = 3\n')
+    with pytest.raises(SystemExit):
+        main(["sweep", "--spec", str(scalar)])
+    cross = tmp_path / "cross.toml"
+    cross.write_text(
+        '[sweep]\nname = "x"\npresets = ["int-heavy"]\nseeds = [0]\n'
+        'issue_widths = [2]\nslot_policies = ["reserved"]\nreserved_slots = 2\n'
+    )
+    with pytest.raises(SystemExit):
+        main(["sweep", "--spec", str(cross)])

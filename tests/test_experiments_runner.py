@@ -1,0 +1,66 @@
+"""Sweep runner: resume/caching, crash isolation, parallel determinism."""
+
+from repro.experiments import ResultsStore, SweepSpec, execute_point, run_sweep
+
+#: Small but real: 2 presets x 2 seeds, short traces.
+SPEC = SweepSpec(
+    name="runner-test",
+    presets=["int-heavy", "branchy"],
+    seeds=[0, 1],
+    ops=300,
+    fault_rates=[0.01],
+)
+
+
+def test_sweep_executes_every_point_and_resumes_with_zero(tmp_path):
+    store = ResultsStore(tmp_path / "r.jsonl")
+    seen = []
+    summary = run_sweep(SPEC, store, workers=1, progress=lambda i, n, row: seen.append((i, n)))
+    assert summary.to_dict() == {"total": 4, "cached": 0, "executed": 4, "errors": 0}
+    assert seen == [(1, 4), (2, 4), (3, 4), (4, 4)]
+    rows = store.ok_rows()
+    assert len(rows) == 4
+    for row in rows:
+        assert row["result"]["checked"]["faults_injected"] > 0
+        assert row["group_hash"]  # grouping key precomputed for reports
+    # Second invocation: the store already covers the whole grid.
+    again = run_sweep(SPEC, store, workers=1)
+    assert again.to_dict() == {"total": 4, "cached": 4, "executed": 0, "errors": 0}
+    assert len(store.rows()) == 4
+
+
+def test_partial_store_resumes_only_the_missing_points(tmp_path):
+    full = ResultsStore(tmp_path / "full.jsonl")
+    run_sweep(SPEC, full, workers=1)
+    partial = ResultsStore(tmp_path / "partial.jsonl")
+    for row in full.rows()[:3]:
+        partial.append(row)
+    summary = run_sweep(SPEC, partial, workers=1)
+    assert summary.cached == 3 and summary.executed == 1
+    assert partial.completed_hashes() == full.completed_hashes()
+
+
+def test_two_workers_produce_byte_identical_store(tmp_path):
+    serial = ResultsStore(tmp_path / "serial.jsonl")
+    parallel = ResultsStore(tmp_path / "parallel.jsonl")
+    run_sweep(SPEC, serial, workers=1)
+    run_sweep(SPEC, parallel, workers=2)
+    assert serial.path.read_bytes() == parallel.path.read_bytes()
+
+
+def test_error_rows_isolate_crashes_and_are_retried(tmp_path):
+    good = SPEC.points()[0].config()
+    bad = dict(good, preset="exploded")  # fails RunPoint validation in-worker
+    row = execute_point(bad)
+    assert row["status"] == "error"
+    assert "exploded" in row["error"]
+    assert row["config"] == bad
+    # An error row does not poison resume: the hash stays incomplete.
+    store = ResultsStore(tmp_path / "r.jsonl")
+    store.append(row)
+    assert store.completed_hashes() == set()
+
+
+def test_execute_point_rows_are_deterministic():
+    config = SPEC.points()[0].config()
+    assert execute_point(config) == execute_point(config)
