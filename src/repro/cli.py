@@ -14,6 +14,10 @@ Three subcommands:
 * ``python -m repro report`` — aggregates a results store across seeds
   (mean ± stddev) into the paper's tables, plus CSV and
   ``BENCH_sweep.json`` outputs.
+* ``python -m repro bench`` — wall-clock benchmark of the event-driven
+  scheduling kernel against the committed pre-refactor (window-rescan)
+  reference, verifying stat-identity and writing ``BENCH_core.json`` (see
+  :mod:`repro.bench`).
 
 For back-compatibility, an invocation whose first argument is not a
 subcommand (``python -m repro --preset int-heavy --check``) is treated as
@@ -36,7 +40,7 @@ from repro.workloads import PRESET_NAMES, PRESETS, WorkloadProfile, WrongPathGen
 _DEFAULT_WRONG_PATH_DEPTH = CoreParams().wrong_path_depth
 
 #: Subcommand names — anything else in argv[0] position is legacy ``run``.
-COMMANDS = ("run", "sweep", "report")
+COMMANDS = ("run", "sweep", "report", "bench")
 
 #: Default results-store path shared by ``sweep`` and ``report`` so the
 #: bare two-command flow works without plumbing a path through by hand.
@@ -74,7 +78,9 @@ def run_experiment(
     ``CoreParams.to_dict`` (enum-keyed FU counts become name-keyed).
     """
     trace = generate(profile, num_ops, seed=seed)
-    wp_source = WrongPathGenerator(profile, seed=seed).stream if wrong_path else None
+    # iter_stream: the core consumes wrong-path streams lazily, so only the
+    # prefix fetched before each branch resolves is ever synthesized.
+    wp_source = WrongPathGenerator(profile, seed=seed).iter_stream if wrong_path else None
     base = params if params is not None else CoreParams()
 
     def core_params(checker: CheckerParams | None = None) -> CoreParams:
@@ -207,6 +213,16 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         default=_DEFAULT_WRONG_PATH_DEPTH,
         help="max micro-ops fetched down one wrong path before waiting for resolution",
     )
+    parser.add_argument(
+        "--frontend-depth",
+        type=int,
+        default=0,
+        help=(
+            "extra fetch-to-issue pipeline stages (0 = legacy two-stage front "
+            "end); deeper front ends widen the branch-resolution window and "
+            "so the wrong-path volume per mispredict"
+        ),
+    )
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
 
@@ -243,6 +259,17 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--quiet", action="store_true", help="suppress per-run progress lines"
     )
+    sweep_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-point wall-clock budget: a point exceeding it becomes an "
+            "error row in the store (retried on the next invocation) instead "
+            "of a stuck worker; overrides the spec's timeout_s field"
+        ),
+    )
 
     report_parser = sub.add_parser(
         "report", help="aggregate a results store into the paper-style tables"
@@ -263,6 +290,56 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the machine-readable aggregate instead of text tables",
     )
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help=(
+            "wall-clock benchmark of the scheduling kernel vs the committed "
+            "pre-refactor reference (writes BENCH_core.json)"
+        ),
+    )
+    from repro.bench import BENCH_CONFIGS, DEFAULT_OUTPUT, DEFAULT_REFERENCE
+
+    bench_parser.add_argument(
+        "--config",
+        choices=(*BENCH_CONFIGS, "all"),
+        default="all",
+        help=(
+            "machine shape to benchmark: table1 (the paper's 128-entry "
+            "window), big-core (1024-entry window, deep wrong paths), "
+            "ci-smoke (short big-core run), or all full-length configs"
+        ),
+    )
+    bench_parser.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    bench_parser.add_argument(
+        "--ops", type=int, default=None, help="override the config's trace length"
+    )
+    bench_parser.add_argument(
+        "--fault-rate", type=float, default=1e-4, help="checked-mode fault rate"
+    )
+    bench_parser.add_argument(
+        "--repeats", type=int, default=2, help="timed runs per point (best-of)"
+    )
+    bench_parser.add_argument(
+        "--reference",
+        default=str(DEFAULT_REFERENCE),
+        help="committed pre-refactor reference JSON",
+    )
+    bench_parser.add_argument(
+        "--out", default=DEFAULT_OUTPUT, help="machine-readable output path"
+    )
+    bench_parser.add_argument(
+        "--min-ops-per-sec",
+        default=None,
+        help=(
+            "fail if the benchmarked config's checked-mode throughput falls "
+            "below this floor (CI regression gate); 'ref' uses the "
+            "reference's ci_floor_ops_per_sec"
+        ),
+    )
+    bench_parser.add_argument(
+        "--json", action="store_true", help="print the JSON report instead of text"
+    )
     return parser
 
 
@@ -273,6 +350,11 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         parser.error(f"--ops must be non-negative, got {args.ops}")
     if args.wrong_path_depth <= 0:
         parser.error(f"--wrong-path-depth must be positive, got {args.wrong_path_depth}")
+    if args.frontend_depth < 0:
+        parser.error(f"--frontend-depth must be non-negative, got {args.frontend_depth}")
+    base_params = (
+        CoreParams(frontend_depth=args.frontend_depth) if args.frontend_depth else None
+    )
     names = list(PRESET_NAMES) if args.all_presets else [args.preset]
     results = [
         run_experiment(
@@ -284,6 +366,7 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
             real_predictor=args.real_predictor,
             wrong_path=not args.no_wrong_path,
             wrong_path_depth=args.wrong_path_depth,
+            params=base_params,
         )
         for name in names
     ]
@@ -323,16 +406,21 @@ def _cmd_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
             flush=True,
         )
 
+    if args.timeout is not None and args.timeout <= 0:
+        parser.error(f"--timeout must be positive, got {args.timeout}")
     summary = run_sweep(
         spec,
         store,
         workers=args.workers,
         progress=None if args.quiet else progress,
+        timeout_s=args.timeout,
     )
     print(
         f"sweep '{spec.name}': {summary.total} points — "
         f"executed {summary.executed}, cached {summary.cached}, "
-        f"errors {summary.errors} -> {store.path}"
+        f"errors {summary.errors} -> {store.path} "
+        f"({summary.wall_seconds:.1f}s wall, slowest point "
+        f"{summary.slowest_point_s:.1f}s)"
     )
     return 1 if summary.errors else 0
 
@@ -362,6 +450,69 @@ def _cmd_report(args: argparse.Namespace, parser: argparse.ArgumentParser) -> in
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.bench import (
+        BENCH_CONFIGS,
+        format_bench,
+        load_reference,
+        run_bench,
+        write_bench_json,
+    )
+
+    if args.repeats <= 0:
+        parser.error(f"--repeats must be positive, got {args.repeats}")
+    if args.ops is not None and args.ops <= 0:
+        parser.error(f"--ops must be positive, got {args.ops}")
+    if args.config == "all":
+        # The two full-length configs; ci-smoke only runs when named.
+        config_names = [name for name in BENCH_CONFIGS if name != "ci-smoke"]
+    else:
+        config_names = [args.config]
+    reference = load_reference(args.reference)
+    if reference is None:
+        print(f"note: no reference at {args.reference}; reporting timings only")
+    report = run_bench(
+        config_names,
+        seed=args.seed,
+        fault_rate=args.fault_rate,
+        repeats=args.repeats,
+        reference=reference,
+        ops_override=args.ops,
+    )
+    write_bench_json(report, args.out)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_bench(report))
+        print(f"wrote {args.out}")
+    if not report["all_stats_identical"]:
+        print("FAIL: kernel stats diverged from the pre-refactor reference",
+              file=sys.stderr)
+        return 1
+    floor = args.min_ops_per_sec
+    if floor is not None:
+        if floor == "ref":
+            floor = (reference or {}).get("ci_floor_ops_per_sec")
+            if floor is None:
+                parser.error("--min-ops-per-sec=ref but the reference has no "
+                             "ci_floor_ops_per_sec")
+        try:
+            floor = float(floor)
+        except ValueError:
+            parser.error(f"--min-ops-per-sec must be a number or 'ref', got {floor!r}")
+        slowest = min(
+            entry["checked"]["ops_per_sec"] for entry in report["configs"].values()
+        )
+        if slowest < floor:
+            print(
+                f"FAIL: checked-mode throughput {slowest:,.0f} ops/s is below "
+                f"the committed floor {floor:,.0f} ops/s",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Legacy interface: `python -m repro --preset int-heavy --check` (and
@@ -370,7 +521,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         argv = ["run", *argv]
     parser = build_parser()
     args = parser.parse_args(argv)
-    handler = {"run": _cmd_run, "sweep": _cmd_sweep, "report": _cmd_report}[args.command]
+    handler = {
+        "run": _cmd_run,
+        "sweep": _cmd_sweep,
+        "report": _cmd_report,
+        "bench": _cmd_bench,
+    }[args.command]
     return handler(args, parser)
 
 

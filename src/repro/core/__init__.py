@@ -13,16 +13,21 @@ from repro.core.core import SuperscalarCore
 from repro.core.dynop import DynOp
 from repro.core.faults import FaultInjector
 from repro.core.params import CheckerParams, CoreParams
+from repro.core.sched import CheckQueue, DeadlockError, EventWheel, ReadyQueue
 from repro.core.scheduler import FUPool
 from repro.core.stats import CoreStats
 
 __all__ = [
+    "CheckQueue",
     "Checker",
     "CheckerParams",
     "CoreParams",
     "CoreStats",
+    "DeadlockError",
     "DynOp",
+    "EventWheel",
     "FUPool",
     "FaultInjector",
+    "ReadyQueue",
     "SuperscalarCore",
 ]

@@ -9,6 +9,13 @@ corrupted primary result shows up as a mismatch when its check completes —
 always before the instruction can commit, because commit is gated on the
 ``checked`` flag.
 
+The checker rides the scheduling kernel (:mod:`repro.core.sched`): the
+core enqueues every correct-path op at rename into an in-order
+:class:`~repro.core.sched.CheckQueue`, so candidate selection is a head
+test instead of a window scan, and each issued check posts an
+``EV_CHECK_DONE`` wheel event for its completion cycle, so retirement
+touches exactly the checks that finish this cycle.
+
 Simplifications versus the hardware proposal, chosen to keep the model
 single-pass:
 
@@ -22,9 +29,8 @@ single-pass:
 
 from __future__ import annotations
 
-from collections import deque
-
 from repro.core.dynop import DynOp
+from repro.core.sched import EV_CHECK_DONE, CheckQueue, EventWheel
 from repro.core.scheduler import FUPool
 from repro.core.stats import CoreStats
 from repro.isa.opcodes import OpClass, UNPIPELINED_OPS, fu_class_for
@@ -34,92 +40,129 @@ from repro.isa.registers import REG_ZERO
 class Checker:
     """In-order re-execution engine layered over the primary core."""
 
-    def __init__(self, fu_pool: FUPool, latencies: dict[OpClass, int], stats: CoreStats):
+    def __init__(
+        self,
+        fu_pool: FUPool,
+        latencies: dict[OpClass, int],
+        stats: CoreStats,
+        wheel: EventWheel | None = None,
+    ):
         self._fu = fu_pool
         self._lat = latencies
+        # IntEnum-indexed lookup tables for the issue loop (see the core's
+        # identical tables); loads/stores re-check in 1 cycle (address
+        # generation only — the value is bypassed from the LSQ).
+        self._check_lat_by_op = [self._check_latency(op) for op in OpClass]
+        self._fu_by_op = [fu_class_for(op) for op in OpClass]
+        self._unpip_by_op = [op in UNPIPELINED_OPS for op in OpClass]
         self._stats = stats
+        # Standalone uses (unit tests) may omit the wheel; completion events
+        # then accumulate on a private wheel the caller drains itself.
+        self._wheel = wheel if wheel is not None else EventWheel()
+        self._pending = CheckQueue()
         # Cycle at which each register's *verified* value becomes available.
         # Absent key = value verified long ago (committed state), ready now.
         self._reg_ready: dict[int, int] = {}
 
+    # ----------------------------------------------------------------- queue
+
+    def enqueue(self, op: DynOp) -> None:
+        """Register a renamed correct-path op for its future in-order check.
+
+        The core calls this at rename in fetch order, which *is* program
+        order for checkable ops (wrong-path ops never check and nops are
+        born checked; neither is enqueued).
+        """
+        self._pending.append(op)
+
     # ----------------------------------------------------------- completions
 
-    def process_completions(self, window: deque[DynOp], now: int) -> DynOp | None:
-        """Retire finished checks; return the first detected-faulty op.
+    def process_completions(self, done: list[DynOp], now: int) -> DynOp | None:
+        """Retire the checks that finished this cycle; return the first
+        detected-faulty op.
 
-        Scans in program order so that when several checks finish on the
-        same cycle, the oldest fault wins and the caller squashes everything
-        younger (which covers the rest).
+        ``done`` is this cycle's batch of EV_CHECK_DONE payloads.  It is
+        processed in program order so that when several checks finish on
+        the same cycle, the oldest fault wins and the caller squashes
+        everything younger (which covers the rest — including any
+        clean-but-younger checks left unmarked here).  Squashed entries are
+        stale events from a victim of an earlier recovery and are ignored.
         """
-        for op in window:
-            if op.checked or op.check_complete_at is None or op.check_complete_at > now:
+        if len(done) > 1:
+            done.sort(key=_by_seq)
+        stats = self._stats
+        for op in done:
+            if op.squashed or op.checked:
                 continue
             if op.faulty:
-                self._stats.faults_detected += 1
+                stats.faults_detected += 1
                 # `fault_at` can legitimately be cycle 0, so a falsy-or
                 # fallback would report zero latency for that fault.
                 fault_at = op.fault_at if op.fault_at is not None else op.check_complete_at
                 latency = op.check_complete_at - fault_at
-                self._stats.detection_latency_sum += latency
-                self._stats.detection_latencies.append(latency)
-                self._stats.detection_latency_max = max(
-                    self._stats.detection_latency_max, latency
-                )
+                stats.detection_latency_sum += latency
+                stats.detection_latencies.append(latency)
+                stats.detection_latency_max = max(stats.detection_latency_max, latency)
                 return op
             op.checked = True
-            self._stats.checks_completed += 1
+            stats.checks_completed += 1
         return None
 
     # ----------------------------------------------------------------- issue
 
-    def issue(self, window: deque[DynOp], now: int, slots: int) -> int:
+    def issue(self, now: int, slots: int) -> int:
         """Re-issue pending checks into up to ``slots`` leftover issue slots.
 
-        Checks issue strictly in program order: the scan stops at the first
-        op that cannot check this cycle (primary still executing, verified
-        operands pending, or no unit/slot), mirroring the in-order check
-        pipeline of the paper.
+        Checks issue strictly in program order: the loop stops at the first
+        queue head that cannot check this cycle (primary still executing,
+        verified operands pending, or no unit/slot), mirroring the in-order
+        check pipeline of the paper.
 
         Returns:
             Number of issue slots consumed.
         """
         used = 0
-        for op in window:
-            if op.wrong_path:
-                # Wrong-path ops are dead on arrival: they are never
-                # verified and must not advertise verified registers, and
-                # they must not block the in-order scan behind them.
-                continue
-            if op.checked or op.check_issued_at is not None:
-                continue
-            if used >= slots:
+        pending = self._pending
+        head = pending.head
+        popleft = pending.popleft
+        fu = self._fu
+        reg_ready = self._reg_ready
+        reg_ready_get = reg_ready.get
+        wheel_post = self._wheel.post
+        lat_by_op = self._check_lat_by_op
+        fu_by_op = self._fu_by_op
+        unpip_by_op = self._unpip_by_op
+        while used < slots:
+            op = head()
+            if op is None:
                 break
-            if not op.completed(now):
+            complete_at = op.complete_at
+            if complete_at is None or complete_at > now:
                 break
-            if not self._operands_verified(op, now):
+            uop = op.uop
+            blocked = False
+            for src in uop.srcs:
+                if src != REG_ZERO and reg_ready_get(src, 0) > now:
+                    blocked = True
+                    break
+            if blocked:
                 break
-            cls = fu_class_for(op.uop.op)
-            if self._fu.available(cls) <= 0:
+            op_cls = uop.op
+            complete = now + lat_by_op[op_cls]
+            if not fu.try_acquire(
+                fu_by_op[op_cls], complete if unpip_by_op[op_cls] else None
+            ):
                 break
-            latency = self._check_latency(op.uop.op)
-            complete = now + latency
-            busy_until = complete if op.uop.op in UNPIPELINED_OPS else None
-            self._fu.acquire(cls, busy_until)
             op.check_issued_at = now
             op.check_complete_at = complete
-            dest = op.uop.dest
+            wheel_post(complete, EV_CHECK_DONE, op)
+            dest = uop.dest
             if dest is not None and dest != REG_ZERO:
-                self._reg_ready[dest] = complete
+                reg_ready[dest] = complete
+            popleft()
             used += 1
         self._stats.checker_slots_used += used
         return used
-
-    def _operands_verified(self, op: DynOp, now: int) -> bool:
-        return all(
-            self._reg_ready.get(src, 0) <= now
-            for src in op.uop.srcs
-            if src != REG_ZERO
-        )
 
     def _check_latency(self, op: OpClass) -> int:
         if op is OpClass.LOAD or op is OpClass.STORE:
@@ -128,14 +171,17 @@ class Checker:
 
     # -------------------------------------------------------------- recovery
 
-    def rebuild_after_squash(self, window: deque[DynOp]) -> None:
+    def rebuild_after_squash(self, window) -> None:
         """Recompute verified-value ready times from the surviving window.
 
         Squashed in-flight checks may have advertised ready times for
         registers they will never verify; surviving ops re-advertise theirs
-        in program order (later writers overwrite earlier ones).
+        in program order (later writers overwrite earlier ones).  The
+        check queue needs no rebuild: squashed entries are dropped lazily
+        at the head, and re-fetched instances are re-enqueued in order.
         """
-        self._reg_ready.clear()
+        reg_ready = self._reg_ready
+        reg_ready.clear()
         for op in window:
             if op.wrong_path:
                 continue
@@ -143,4 +189,8 @@ class Checker:
             if dest is None or dest == REG_ZERO:
                 continue
             if op.check_complete_at is not None:
-                self._reg_ready[dest] = op.check_complete_at
+                reg_ready[dest] = op.check_complete_at
+
+
+def _by_seq(op: DynOp) -> int:
+    return op.seq

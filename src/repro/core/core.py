@@ -11,11 +11,20 @@ The machine is trace driven and models the paper's pipeline shape:
   issue slots, functional units, and memory bandwidth — and are squashed
   when the branch resolves, after which fetch redirects to the correct
   path.  With ``model_wrong_path`` off, fetch instead stalls at the
-  branch and the full penalty is resolution wait + redirect.
+  branch and the full penalty is resolution wait + redirect.  Streams are
+  consumed lazily: only the prefix the front end actually fetches before
+  resolution is ever synthesized.
 * **rename** — source operands capture direct references to their in-flight
-  producers; the zero register never creates a dependency.
+  producers; the zero register never creates a dependency.  Rename also
+  feeds the scheduling kernel (:mod:`repro.core.sched`): an op with
+  outstanding sources registers for their completion wakeups and enters
+  the primary ready queue exactly when the last one lands, and a
+  correct-path op joins the checker's in-order ready queue.  With
+  ``frontend_depth`` > 0, a front-end hold delays issue eligibility by
+  that many extra pipeline cycles.
 * **issue/execute** — oldest-first out-of-order issue of ready ops into the
-  shared issue slots and Table 1 functional units; loads and stores go
+  shared issue slots and Table 1 functional units, popping the seq-ordered
+  ready queue instead of rescanning the window; loads and stores go
   through the memory hierarchy (ports, MSHRs, bus) and replay on
   structural refusal; divides block their unpipelined units.
 * **check** — with the checker enabled, completed ops are re-executed in
@@ -24,29 +33,46 @@ The machine is trace driven and models the paper's pipeline shape:
   verification, and a detected fault squashes all younger ops and replays
   them from the verified state.
 * **commit** — in-order, up to ``commit_width`` per cycle.
+
+All timed wakeups — functional-unit completion, deferred memory fills,
+branch resolution, checker retirement — flow through one cycle-indexed
+:class:`~repro.core.sched.EventWheel` drained at the top of every step, so
+per-cycle cost scales with events and issues, not window occupancy.
 """
 
 from __future__ import annotations
 
+import time
 from collections import deque
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.branch.combining import CombiningPredictor
 from repro.core.checker import Checker
 from repro.core.dynop import DynOp
 from repro.core.faults import FaultInjector
 from repro.core.params import CoreParams
+from repro.core.sched import (
+    EV_BRANCH_RESOLVE,
+    EV_CHECK_DONE,
+    EV_DEP_WAKE,
+    EV_MEM_FILL,
+    DeadlockError,
+    EventWheel,
+    ReadyQueue,
+)
 from repro.core.scheduler import FUPool
 from repro.core.stats import CoreStats
-from repro.isa.instruction import MicroOp
+from repro.isa.instruction import MicroOp, format_microop
 from repro.isa.opcodes import OpClass, UNPIPELINED_OPS, default_latencies, fu_class_for
 from repro.isa.registers import REG_ZERO
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.workloads.synthetic import WrongPathGenerator
 
 #: Signature of a wrong-path stream source: (branch uop, branch seq,
-#: depth) -> the micro-ops the front end finds down the wrong path.
-WrongPathSource = Callable[[MicroOp, int, int], list[MicroOp]]
+#: depth) -> the micro-ops the front end finds down the wrong path.  The
+#: core consumes the iterable lazily, so generator-backed sources only pay
+#: for the prefix fetched before the branch resolves.
+WrongPathSource = Callable[[MicroOp, int, int], Iterable[MicroOp]]
 
 
 class SuperscalarCore:
@@ -86,16 +112,40 @@ class SuperscalarCore:
         predictor state is cycle-free, so staying warm is sound.
         """
         self._fu = FUPool(self.params.fu_counts)
+        self._wheel = EventWheel()
+        self._ready = ReadyQueue()
         self.stats = CoreStats(issue_width=self.params.issue_width)
         cp = self.params.checker
         self.checker: Checker | None = None
         self.fault_injector: FaultInjector | None = None
         if cp.enabled:
-            self.checker = Checker(self._fu, self._latencies, self.stats)
+            self.checker = Checker(self._fu, self._latencies, self.stats, self._wheel)
             self.fault_injector = FaultInjector(
                 rate=cp.fault_rate, seed=cp.fault_seed, force_seqs=cp.force_fault_seqs
             )
+        # --- per-run caches for the cycle loop (the params object is
+        # read-only during a run; a few of these reach into kernel-structure
+        # internals, trading encapsulation for measured per-cycle cost) ---
+        params = self.params
+        self._issue_width = params.issue_width
+        self._frontend_depth = params.frontend_depth
+        self._reserved = (
+            cp.reserved_slots
+            if self.checker is not None and cp.slot_policy == "reserved"
+            else 0
+        )
+        self._primary_budget = self._issue_width - self._reserved
+        self._ready_heap = self._ready._heap
+        self._wheel_pop = self._wheel.pop_due
+        self._check_deque = self.checker._pending._queue if self.checker else None
+        self._trace_len = len(self._trace)
+        # Per-OpClass lookup tables (IntEnum-indexed lists beat dict/set
+        # hashing in the issue loop).
+        self._lat_by_op = [self._latencies[op] for op in OpClass]
+        self._fu_by_op = [fu_class_for(op) for op in OpClass]
+        self._unpip_by_op = [op in UNPIPELINED_OPS for op in OpClass]
         self.hierarchy.reset()
+        self.hierarchy.attach_wheel(self._wheel)
         if self._owns_predictor:
             self.predictor = CombiningPredictor()
         self.retired.clear()
@@ -114,13 +164,19 @@ class SuperscalarCore:
         if self.params.model_wrong_path:
             self._wp_source = self._wp_source_override or WrongPathGenerator(
                 seed=self.params.wrong_path_seed
-            ).stream
+            ).iter_stream
         else:
             self._wp_source = None
         self._wp_branch: DynOp | None = None
-        self._wp_queue: deque[MicroOp] = deque()
+        # The episode's stream is held as a lazy iterator plus a one-op
+        # lookahead slot (an op probed for an I-cache miss stays peeked
+        # until the stall clears), so unconsumed wrong-path ops cost
+        # nothing to synthesize.
+        self._wp_iter = None
+        self._wp_peek: MicroOp | None = None
         self._wp_resolve_at: int | None = None
         self._wp_icache_stall_until = 0
+        self._wp_saved_producers: dict[int, DynOp] = {}
         # Wrong-path seqs start past the trace so they always read as
         # "younger than any real op" to the squash machinery.
         self._wp_next_seq = len(self._trace)
@@ -132,34 +188,129 @@ class SuperscalarCore:
         """Simulate ``trace`` to completion and return the stats.
 
         Raises:
-            RuntimeError: if the simulation exceeds ``max_cycles`` (defaults
-                to a generous bound scaled by trace length) — a deadlock
-                guard, not an expected exit.
+            DeadlockError: if the simulation exceeds ``max_cycles``
+                (defaults to a generous bound scaled by trace length) — a
+                deadlock guard, not an expected exit.  The message names
+                the stuck oldest op and its unmet dependencies.
         """
         self._trace = trace  # before the reset: wrong-path seqs start past it
         self._reset_run_state()
         limit = max_cycles if max_cycles is not None else 10_000 + 400 * len(trace)
-        while self._fetch_index < len(trace) or self._window:
+        started = time.perf_counter()
+        step = self._step
+        trace_len = len(trace)
+        window = self._window
+        while self._fetch_index < trace_len or window:
             if self._now > limit:
-                raise RuntimeError(
-                    f"simulation exceeded {limit} cycles with "
-                    f"{len(self._window)} ops in flight — likely deadlock"
-                )
-            self._step()
+                raise DeadlockError(self._deadlock_report(limit))
+            step()
         self.stats.cycles = self._now
+        if self.fault_injector is not None:
+            self.stats.faults_injected = self.fault_injector.injected
+        self.stats.wall_seconds = time.perf_counter() - started
+        self.stats.sched_events = self._wheel.posted
         self.stats.memory = self.hierarchy.snapshot()
         return self.stats
+
+    def _deadlock_report(self, limit: int) -> str:
+        """Describe why the window is stuck (for :class:`DeadlockError`)."""
+        now = self._now
+        lines = [
+            f"simulation exceeded {limit} cycles with {len(self._window)} ops "
+            f"in flight — likely deadlock"
+        ]
+        next_event = self._wheel.next_cycle()
+        lines.append(
+            f"cycle {now}; next scheduled event "
+            f"{'at cycle ' + str(next_event) if next_event is not None else 'none'}"
+        )
+        if not self._window:
+            lines.append(
+                f"window empty but fetch stuck at trace index {self._fetch_index} "
+                f"(fetch stall until {self._fetch_stall_until}, i-cache stall "
+                f"until {self._icache_stall_until}, waiting branch "
+                f"{self._waiting_branch.seq if self._waiting_branch else None})"
+            )
+            return "\n".join(lines)
+        op = self._window[0]
+        state: str
+        if op.issued_at is None:
+            unmet = [
+                d for d in op.deps if d.complete_at is None or d.complete_at > now
+            ]
+            if unmet:
+                deps_desc = ", ".join(
+                    f"seq={d.seq} <{format_microop(d.uop)}> "
+                    f"({'never issued' if d.issued_at is None else f'completes at {d.complete_at}'}"
+                    f"{', squashed' if d.squashed else ''})"
+                    for d in unmet
+                )
+                state = f"waiting to issue on unmet dependencies: {deps_desc}"
+            else:
+                state = (
+                    "ready but never issued (structural starvation: functional "
+                    "unit or issue slot never became available)"
+                )
+        elif op.complete_at is not None and op.complete_at > now:
+            state = f"executing until cycle {op.complete_at}"
+        elif self.checker is not None and not op.checked:
+            if op.check_issued_at is None:
+                state = "completed but its in-order check never issued"
+            else:
+                state = f"check in flight until cycle {op.check_complete_at}"
+        else:
+            state = "complete and commit-ready (commit stage never drained it)"
+        lines.append(
+            f"oldest op seq={op.seq} <{format_microop(op.uop)}> fetched at "
+            f"cycle {op.fetched_at}: {state}"
+        )
+        return "\n".join(lines)
 
     # ------------------------------------------------------------ cycle step
 
     def _step(self) -> None:
         now = self._now
-        self._squash_wrong_path(now)
-        if self.checker is not None:
-            faulty = self.checker.process_completions(self._window, now)
-            if faulty is not None:
-                self._recover(faulty, now)
-        self._commit(now)
+        # Deliver this cycle's timed wakeups before any stage runs: producer
+        # completions top up the ready queue, fill arrivals arm the
+        # hierarchy, and branch-resolution / check-retirement events are
+        # batched for the squash and checker phases below (in the same
+        # order the scan-based core processed them).
+        events = self._wheel_pop(now)
+        checker = self.checker
+        if events is not None:
+            checks_done: list[DynOp] | None = None
+            branch_resolved = False
+            ready_push = self._ready.push
+            for kind, payload in events:
+                if kind == EV_DEP_WAKE:
+                    payload.pending_deps -= 1
+                    if not payload.pending_deps and not payload.squashed:
+                        ready_push(payload)
+                elif kind == EV_CHECK_DONE:
+                    if checks_done is None:
+                        checks_done = [payload]
+                    else:
+                        checks_done.append(payload)
+                elif kind == EV_MEM_FILL:
+                    self.hierarchy.fills_due()
+                else:  # EV_BRANCH_RESOLVE
+                    branch_resolved = True
+            if branch_resolved:
+                self._squash_wrong_path(now)
+            if checks_done is not None and checker is not None:
+                faulty = checker.process_completions(checks_done, now)
+                if faulty is not None:
+                    self._recover(faulty, now)
+        # In-order commit: gate on the head so quiet cycles cost one check.
+        window = self._window
+        if window:
+            head = window[0]
+            if (
+                head.checked
+                if checker is not None
+                else (head.complete_at is not None and head.complete_at <= now)
+            ):
+                self._commit(now)
         self._fu.begin_cycle(now)
         # Under the "reserved" policy the issue stage is statically
         # partitioned: the primary stream never sees the checker's slots,
@@ -167,133 +318,210 @@ class SuperscalarCore:
         # primary stream still left idle.  "opportunistic" (the paper's
         # scheme) gives the primary stream the full width and the checker
         # only the leftovers.
-        cp = self.params.checker
-        reserved = (
-            cp.reserved_slots
-            if self.checker is not None and cp.slot_policy == "reserved"
-            else 0
-        )
-        slots_left = self._issue_primary(now, self.params.issue_width - reserved)
-        if self.checker is not None:
-            self.checker.issue(self._window, now, slots_left + reserved)
-        self._fetch(now)
+        if self._ready_heap:
+            slots_left = self._issue_primary(now, self._primary_budget)
+        else:
+            slots_left = self._primary_budget
+        if checker is not None:
+            # The in-order check pipeline can only start at the queue head;
+            # skip the issue call outright when the head has no completed
+            # primary result yet (a lazily-dropped squashed head still
+            # routes through issue, which discards it).
+            pending = self._check_deque
+            if pending:
+                head = pending[0]
+                complete_at = head.complete_at
+                if head.squashed or (complete_at is not None and complete_at <= now):
+                    checker.issue(now, slots_left + self._reserved)
+        # Fetch, with the cheap stall guards inlined so a stalled front end
+        # costs two comparisons instead of a call.
+        if self._wp_branch is not None:
+            if now >= self._wp_icache_stall_until:
+                self._fetch_wrong_path(now)
+        elif (
+            self._waiting_branch is None
+            and now >= self._fetch_stall_until
+            and now >= self._icache_stall_until
+            and self._fetch_index < self._trace_len
+        ):
+            self._fetch(now)
         self._now = now + 1
 
     # ---------------------------------------------------------------- commit
 
     def _commit(self, now: int) -> None:
         done = 0
-        while self._window and done < self.params.commit_width:
-            op = self._window[0]
-            ready = op.checked if self.checker is not None else op.completed(now)
-            if not ready:
+        window = self._window
+        reg_producer = self._reg_producer
+        budget = self.params.commit_width
+        record = self.params.record_retired
+        gate_on_check = self.checker is not None
+        while window and done < budget:
+            op = window[0]
+            if gate_on_check:
+                if not op.checked:
+                    break
+            elif op.complete_at is None or op.complete_at > now:
                 break
-            self._window.popleft()
+            window.popleft()
             op.committed_at = now
-            if self._reg_producer.get(op.uop.dest) is op:
-                del self._reg_producer[op.uop.dest]
-            self.stats.committed += 1
-            if self.params.record_retired:
+            dest = op.uop.dest
+            if reg_producer.get(dest) is op:
+                del reg_producer[dest]
+            if record:
                 self.retired.append(op)
             done += 1
+        self.stats.committed += done
 
     # ----------------------------------------------------------------- issue
 
     def _issue_primary(self, now: int, budget: int) -> int:
-        """Oldest-first OOO issue into ``budget`` slots; returns leftovers."""
+        """Oldest-first OOO issue from the ready queue; returns leftovers.
+
+        Ops the cycle cannot serve — functional unit busy, memory access
+        refused — are stashed and re-pushed for the next cycle, matching
+        the scan core's behaviour of skipping them without losing them.
+        A refused memory access still burns its issue slot (a replay storm
+        must not look like idle issue bandwidth to the checker).
+        """
         slots = budget
-        for op in self._window:
-            if slots == 0:
+        pop_live = self._ready.pop_live
+        stash: list[DynOp] | None = None
+        fu = self._fu
+        stats = self.stats
+        lat_by_op = self._lat_by_op
+        fu_by_op = self._fu_by_op
+        unpip_by_op = self._unpip_by_op
+        wheel_post = self._wheel.post
+        access = self.hierarchy.access
+        injector = self.fault_injector
+        waiting_branch = self._waiting_branch
+        store_cls = OpClass.STORE
+        load_cls = OpClass.LOAD
+        while slots:
+            op = pop_live()
+            if op is None:
                 break
-            if op.issued_at is not None or not op.deps_ready(now):
-                continue
-            cls = fu_class_for(op.uop.op)
-            if self._fu.available(cls) <= 0:
-                continue
-            if op.uop.is_mem():
-                result = self.hierarchy.access(
-                    op.uop.addr, now, is_store=op.uop.op is OpClass.STORE
-                )
+            uop = op.uop
+            op_cls = uop.op
+            cls = fu_by_op[op_cls]
+            if op_cls is load_cls or op_cls is store_cls:
+                if fu.available(cls) <= 0:
+                    if stash is None:
+                        stash = [op]
+                    else:
+                        stash.append(op)
+                    continue
+                result = access(uop.addr, now, is_store=op_cls is store_cls)
                 if not result.ok:
-                    # The refused access still occupied an issue slot this
-                    # cycle: a replay storm must not look like idle issue
-                    # bandwidth to the checker.
                     op.replays += 1
                     slots -= 1
-                    self.stats.replay_slots_used += 1
+                    stats.replay_slots_used += 1
                     if op.wrong_path:
-                        self.stats.wrong_path_mem_replays += 1
-                        self.stats.wrong_path_slots_used += 1
+                        stats.wrong_path_mem_replays += 1
+                        stats.wrong_path_slots_used += 1
                     else:
-                        self.stats.mem_replays += 1
+                        stats.mem_replays += 1
+                    if stash is None:
+                        stash = [op]
+                    else:
+                        stash.append(op)
                     continue
                 complete = result.ready_at
+                fu.acquire(cls)
             else:
-                complete = now + self._latencies[op.uop.op]
+                complete = now + lat_by_op[op_cls]
+                if not fu.try_acquire(
+                    cls, complete if unpip_by_op[op_cls] else None
+                ):
+                    if stash is None:
+                        stash = [op]
+                    else:
+                        stash.append(op)
+                    continue
             op.issued_at = now
             op.complete_at = complete
-            busy_until = complete if op.uop.op in UNPIPELINED_OPS else None
-            self._fu.acquire(cls, busy_until)
             slots -= 1
+            waiters = op.waiters
+            if waiters is not None:
+                for waiter in waiters:
+                    wheel_post(complete, EV_DEP_WAKE, waiter)
+                op.waiters = None
             if op.wrong_path:
-                self.stats.wrong_path_issued += 1
-                self.stats.wrong_path_slots_used += 1
+                stats.wrong_path_issued += 1
+                stats.wrong_path_slots_used += 1
             else:
-                self.stats.primary_slots_used += 1
+                stats.primary_slots_used += 1
                 # Wrong-path results are never checked, so corrupting them
                 # would be invisible and would break the detected+squashed
                 # == injected invariant.  Skipping them also keeps forced
                 # fault seqs stable across the toggle (rate-based draws
                 # still follow issue order, which the toggle can perturb).
-                if self.fault_injector is not None:
-                    self.fault_injector.maybe_inject(op)
-                    self.stats.faults_injected = self.fault_injector.injected
-            if op is self._waiting_branch:
+                # Register-writing ops only (the injector's own gate, so
+                # this fast path changes no RNG draw sequence).
+                if injector is not None and uop.dest is not None:
+                    injector.maybe_inject(op)
+            if op is waiting_branch:
                 # Resolution time is now known: fetch restarts after redirect
                 # and any wrong-path work is squashed at resolution.
                 self._fetch_stall_until = complete + self.params.mispredict_penalty
-                self._wp_resolve_at = complete
-                self._waiting_branch = None
+                self._waiting_branch = waiting_branch = None
+                if self._wp_branch is not None:
+                    self._wp_resolve_at = complete
+                    wheel_post(complete, EV_BRANCH_RESOLVE, None)
+        if stash is not None:
+            push = self._ready.push
+            for op in stash:
+                push(op)
         return slots
 
     # ----------------------------------------------------------------- fetch
 
     def _fetch(self, now: int) -> None:
-        if self._wp_branch is not None:
-            self._fetch_wrong_path(now)
+        # Stall and end-of-trace guards live in _step (inlined on the cycle
+        # loop); this body only runs when correct-path fetch may proceed.
+        params = self.params
+        trace = self._trace
+        trace_len = len(trace)
+        window = self._window
+        index = self._fetch_index
+        # The window only grows during fetch, so the per-cycle budget is
+        # fixed up front instead of re-deriving len(window) per op.
+        budget = min(
+            params.fetch_width, trace_len - index, params.window_size - len(window)
+        )
+        if budget <= 0:
             return
-        if (
-            self._waiting_branch is not None
-            or now < self._fetch_stall_until
-            or now < self._icache_stall_until
-        ):
-            return
-        fetched = 0
         probed_line: int | None = None
-        while (
-            fetched < self.params.fetch_width
-            and self._fetch_index < len(self._trace)
-            and len(self._window) < self.params.window_size
-        ):
-            uop = self._trace[self._fetch_index]
-            if self.params.model_icache:
-                # Probe once per cache line the group touches, not once per
-                # group: a line-crossing group pays for (and trains the
-                # prefetcher on) its second line too.
-                line = uop.pc // self.hierarchy.params.line_bytes
-                if line != probed_line:
-                    result = self.hierarchy.ifetch(uop.pc, now)
-                    probed_line = line
-                    if result.level != "l1":
-                        self._icache_stall_until = result.ready_at
-                        return
-            op = self._rename(uop, now)
-            self._window.append(op)
-            self._fetch_index += 1
-            fetched += 1
-            self.stats.fetched += 1
-            if uop.is_branch() and self._fetch_branch(op):
-                return
+        model_icache = params.model_icache
+        line_bytes = self.hierarchy.params.line_bytes
+        ifetch = self.hierarchy.ifetch
+        rename = self._rename
+        branch_cls = OpClass.BRANCH
+        fetched = 0
+        try:
+            while fetched < budget:
+                uop = trace[index]
+                if model_icache:
+                    # Probe once per cache line the group touches, not once
+                    # per group: a line-crossing group pays for (and trains
+                    # the prefetcher on) its second line too.
+                    line = uop.pc // line_bytes
+                    if line != probed_line:
+                        result = ifetch(uop.pc, now)
+                        probed_line = line
+                        if result.level != "l1":
+                            self._icache_stall_until = result.ready_at
+                            return
+                op = rename(uop, now)
+                window.append(op)
+                index += 1
+                self._fetch_index = index
+                fetched += 1
+                if uop.op is branch_cls and self._fetch_branch(op):
+                    return
+        finally:
+            self.stats.fetched += fetched
 
     def _fetch_wrong_path(self, now: int) -> None:
         """Fetch down the wrong path while the mispredicted branch is unresolved.
@@ -301,60 +529,123 @@ class SuperscalarCore:
         Wrong-path I-cache misses stall only *this* stream (their line
         fills and bus traffic persist): the correct-path redirect after the
         squash must not inherit a wait for instructions that were never on
-        the program's path.
+        the program's path.  The stream iterator is advanced only when an
+        op is actually renamed, so resolution leaves the unfetched suffix
+        unsynthesized.
         """
-        if now < self._wp_icache_stall_until:
+        params = self.params
+        window = self._window
+        budget = min(params.fetch_width, params.window_size - len(window))
+        if budget <= 0:
             return
-        fetched = 0
         probed_line: int | None = None
-        while (
-            fetched < self.params.fetch_width
-            and self._wp_queue
-            and len(self._window) < self.params.window_size
-        ):
-            uop = self._wp_queue[0]
-            if self.params.model_icache:
-                line = uop.pc // self.hierarchy.params.line_bytes
-                if line != probed_line:
-                    result = self.hierarchy.ifetch(uop.pc, now, prefetch=False)
-                    probed_line = line
-                    if result.level != "l1":
-                        self._wp_icache_stall_until = result.ready_at
-                        return
-            self._wp_queue.popleft()
-            op = self._rename(uop, now, wrong_path=True)
-            self._window.append(op)
-            fetched += 1
-            self.stats.wrong_path_fetched += 1
+        model_icache = params.model_icache
+        line_bytes = self.hierarchy.params.line_bytes
+        ifetch = self.hierarchy.ifetch
+        rename = self._rename
+        wp_iter = self._wp_iter
+        fetched = 0
+        try:
+            while fetched < budget:
+                uop = self._wp_peek
+                if uop is None:
+                    uop = next(wp_iter, None)
+                    if uop is None:
+                        break  # stream exhausted: wait for resolution
+                    self._wp_peek = uop
+                if model_icache:
+                    line = uop.pc // line_bytes
+                    if line != probed_line:
+                        result = ifetch(uop.pc, now, prefetch=False)
+                        probed_line = line
+                        if result.level != "l1":
+                            self._wp_icache_stall_until = result.ready_at
+                            return
+                self._wp_peek = None
+                op = rename(uop, now, True)
+                window.append(op)
+                fetched += 1
+        finally:
+            self.stats.wrong_path_fetched += fetched
 
     def _rename(self, uop: MicroOp, now: int, wrong_path: bool = False) -> DynOp:
-        deps = tuple(
-            producer
-            for src in uop.srcs
-            if src != REG_ZERO and (producer := self._reg_producer.get(src)) is not None
-        )
+        reg_producer = self._reg_producer
+        srcs = uop.srcs
+        # Unrolled dependency capture: nearly every micro-op has 0-2
+        # sources, and REG_ZERO (register 0) never creates a dependency.
+        n_srcs = len(srcs)
+        if n_srcs == 0:
+            deps = ()
+        elif n_srcs == 1:
+            src = srcs[0]
+            producer = reg_producer.get(src) if src else None
+            deps = () if producer is None else (producer,)
+        elif n_srcs == 2:
+            src = srcs[0]
+            first = reg_producer.get(src) if src else None
+            src = srcs[1]
+            second = reg_producer.get(src) if src else None
+            if first is None:
+                deps = () if second is None else (second,)
+            else:
+                deps = (first,) if second is None else (first, second)
+        else:
+            deps = tuple(
+                producer
+                for src in srcs
+                if src != REG_ZERO and (producer := reg_producer.get(src)) is not None
+            )
         if wrong_path:
             seq = self._wp_next_seq
-            self._wp_next_seq += 1
-            color = self._wp_branch.seq
+            self._wp_next_seq = seq + 1
+            op = DynOp(uop, seq, now, deps, wrong_path=True, branch_color=self._wp_branch.seq)
         else:
-            seq = self._fetch_index
-            color = None
-        op = DynOp(
-            uop=uop,
-            seq=seq,
-            fetched_at=now,
-            deps=deps,
-            wrong_path=wrong_path,
-            branch_color=color,
-        )
+            op = DynOp(uop, self._fetch_index, now, deps)
         if uop.op is OpClass.NOP:
-            # Nops consume front-end and commit bandwidth only.
+            # Nops consume front-end and commit bandwidth only; they never
+            # enter the ready or check queues.
             op.issued_at = now
             op.complete_at = now
             op.checked = True
-        elif uop.dest is not None and uop.dest != REG_ZERO:
-            self._reg_producer[uop.dest] = op
+            return op
+        dest = uop.dest
+        if dest is not None and dest != REG_ZERO:
+            reg_producer[dest] = op
+        # --- scheduling-kernel registration: count outstanding sources and
+        # arrange the wakeups that will push the op into the ready queue.
+        # Producers whose completion cycle is already known share a single
+        # wheel event at the latest such cycle (readiness is the max);
+        # unissued producers each enlist the op on their waiter list.
+        pending = 0
+        if deps:
+            wake_at = 0
+            for producer in deps:
+                complete = producer.complete_at
+                if complete is None:
+                    # Producer not issued yet: its issue posts our wakeup.
+                    pending += 1
+                    if producer.waiters is None:
+                        producer.waiters = [op]
+                    else:
+                        producer.waiters.append(op)
+                elif complete > wake_at:
+                    wake_at = complete
+            if wake_at > now:
+                pending += 1
+                self._wheel.post(wake_at, EV_DEP_WAKE, op)
+        depth = self._frontend_depth
+        if depth:
+            # Front-end pipeline hold: +depth cycles between fetch and the
+            # first issue opportunity (which is fetch+1 at depth 0, since
+            # fetch runs after issue within a cycle).
+            pending += 1
+            self._wheel.post(now + depth + 1, EV_DEP_WAKE, op)
+        if pending:
+            op.pending_deps = pending
+        else:
+            self._ready.push(op)
+        if self._check_deque is not None and not wrong_path:
+            self._check_deque.append(op)
         return op
 
     def _fetch_branch(self, op: DynOp) -> bool:
@@ -388,9 +679,16 @@ class SuperscalarCore:
                 self._wp_branch = op
                 self._wp_resolve_at = None
                 self._wp_icache_stall_until = 0
-                self._wp_queue = deque(
+                self._wp_iter = iter(
                     self._wp_source(uop, op.seq, self.params.wrong_path_depth)
                 )
+                self._wp_peek = None
+                # Snapshot the producer map: during the episode only
+                # wrong-path renames (overwrites) and in-order commits
+                # (deletions) touch it, so the resolution squash restores
+                # this snapshot minus since-committed entries instead of
+                # rescanning the window (see _squash_wrong_path).
+                self._wp_saved_producers = dict(self._reg_producer)
             return True
         return False
 
@@ -398,6 +696,11 @@ class SuperscalarCore:
 
     def _squash_wrong_path(self, now: int) -> None:
         """Throw away the wrong-path work once its branch has resolved.
+
+        Reached via the branch's EV_BRANCH_RESOLVE wheel event.  The guard
+        re-validates the episode: a recovery squash may have ended it (and
+        possibly started a successor) between the event being posted and
+        delivered, in which case the stale event is a no-op.
 
         Wrong-path ops are always the youngest ops in the window (no
         correct-path fetch happens during an episode), so popping the
@@ -410,23 +713,39 @@ class SuperscalarCore:
         ):
             return
         color = self._wp_branch.seq
+        window = self._window
+        squashed = 0
         while (
-            self._window
-            and self._window[-1].wrong_path
-            and self._window[-1].branch_color == color
+            window
+            and window[-1].wrong_path
+            and window[-1].branch_color == color
         ):
-            victim = self._window.pop()
+            victim = window.pop()
             victim.squashed = True
-            self.stats.wrong_path_squashed += 1
-            self._release_victim_fu(victim, now)
-        self._rebuild_producers()
+            squashed += 1
+            if victim.uop.op in UNPIPELINED_OPS:
+                self._release_victim_fu(victim, now)
+        self.stats.wrong_path_squashed += squashed
+        # Restore the pre-episode producer map rather than rescanning the
+        # window.  Equivalent to _rebuild_producers(): no correct-path op
+        # was renamed during the episode, and commit is in-order, so the
+        # surviving last-writer of a register is exactly the snapshot entry
+        # unless that op has since committed (in which case every older
+        # writer has committed too and the register maps to retired state).
+        self._reg_producer = {
+            reg: op
+            for reg, op in self._wp_saved_producers.items()
+            if op.committed_at is None
+        }
         self._end_wrong_path()
 
     def _end_wrong_path(self) -> None:
         self._wp_branch = None
-        self._wp_queue.clear()
+        self._wp_iter = None
+        self._wp_peek = None
         self._wp_resolve_at = None
         self._wp_icache_stall_until = 0
+        self._wp_saved_producers = {}
 
     # -------------------------------------------------------------- recovery
 
@@ -439,15 +758,19 @@ class SuperscalarCore:
         corrupt value and is squashed and re-fetched.  Wrong-path ops are
         always younger than any checkable op, so an active episode is
         swept away with the rest (and restarted when its branch is
-        re-fetched and re-mispredicted).
+        re-fetched and re-mispredicted).  Ready-queue entries, pending
+        wakeups, and check-queue entries of the victims are dropped lazily
+        by the kernel structures (the re-fetched instances are fresh
+        records).
         """
         faulty.faulty = False
         faulty.corrected = True
         faulty.checked = True
         self.stats.checks_completed += 1
         self.stats.recoveries += 1
-        while self._window and self._window[-1].seq > faulty.seq:
-            victim = self._window.pop()
+        window = self._window
+        while window and window[-1].seq > faulty.seq:
+            victim = window.pop()
             victim.squashed = True
             if victim.wrong_path:
                 self.stats.wrong_path_squashed += 1
@@ -455,10 +778,11 @@ class SuperscalarCore:
                 self.stats.squashed += 1
                 if victim.faulty:
                     self.stats.faults_squashed += 1
-            self._release_victim_fu(victim, now)
+            if victim.uop.op in UNPIPELINED_OPS:
+                self._release_victim_fu(victim, now)
         self._rebuild_producers()
         if self.checker is not None:
-            self.checker.rebuild_after_squash(self._window)
+            self.checker.rebuild_after_squash(window)
         self._fetch_index = faulty.seq + 1
         self._waiting_branch = None
         self._end_wrong_path()
@@ -466,11 +790,12 @@ class SuperscalarCore:
 
     def _rebuild_producers(self) -> None:
         """Recompute the register-producer map from the surviving window."""
-        self._reg_producer.clear()
+        reg_producer = self._reg_producer
+        reg_producer.clear()
         for op in self._window:
             dest = op.uop.dest
             if dest is not None and dest != REG_ZERO and op.uop.op is not OpClass.NOP:
-                self._reg_producer[dest] = op
+                reg_producer[dest] = op
 
     def _release_victim_fu(self, victim: DynOp, now: int) -> None:
         """Free functional-unit reservations a squashed op still holds.

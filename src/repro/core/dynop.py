@@ -4,6 +4,12 @@ A :class:`DynOp` wraps one trace :class:`~repro.isa.instruction.MicroOp`
 for one trip through the pipeline.  Squash-and-replay creates a *fresh*
 DynOp for the re-fetched instance, so every timing field is written at most
 once per record and the trace stays immutable.
+
+Kept a ``slots=True`` dataclass deliberately: the pipeline reads these
+fields far more often than it constructs records (issue, commit, and the
+kernel queues all test ``squashed``/``complete_at``/``checked`` per touch),
+and slot descriptor reads beat instance-dict lookups with class-attribute
+fallbacks — measured on the 100k-op bench against a plain-class variant.
 """
 
 from __future__ import annotations
@@ -27,6 +33,14 @@ class DynOp:
     seq: int
     fetched_at: int
     deps: tuple["DynOp", ...] = field(default=())
+    #: True for ops fetched past an unresolved mispredicted branch.  Wrong-path
+    #: ops consume fetch/issue/FU/memory bandwidth like any other op but are
+    #: never checked, never advertise verified registers, and never commit:
+    #: they are squashed when their spawning branch resolves.
+    wrong_path: bool = False
+    #: Sequence number of the mispredicted branch a wrong-path op belongs to;
+    #: the resolution squash removes exactly the ops carrying its colour.
+    branch_color: int | None = None
     issued_at: int | None = None
     complete_at: int | None = None
     check_issued_at: int | None = None
@@ -39,14 +53,15 @@ class DynOp:
     corrected: bool = False
     mispredicted: bool = False
     replays: int = 0
-    #: True for ops fetched past an unresolved mispredicted branch.  Wrong-path
-    #: ops consume fetch/issue/FU/memory bandwidth like any other op but are
-    #: never checked, never advertise verified registers, and never commit:
-    #: they are squashed when their spawning branch resolves.
-    wrong_path: bool = False
-    #: Sequence number of the mispredicted branch a wrong-path op belongs to;
-    #: the resolution squash removes exactly the ops carrying its colour.
-    branch_color: int | None = None
+    # --- scheduling-kernel state (see repro.core.sched) ---
+    #: Sources (plus the front-end hold, if any) whose results are still
+    #: outstanding.  The op enters the primary ready queue exactly when the
+    #: last EV_DEP_WAKE delivery drops this to zero.
+    pending_deps: int = 0
+    #: Ops renamed while this op's completion cycle was still unknown; when
+    #: the op finally issues, each waiter gets an EV_DEP_WAKE at the
+    #: completion cycle.  ``None`` once drained (or never needed).
+    waiters: list["DynOp"] | None = None
 
     def deps_ready(self, now: int) -> bool:
         """True if every source producer has a result by cycle ``now``."""

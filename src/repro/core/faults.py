@@ -40,16 +40,13 @@ class FaultInjector:
         Only register-writing ops are eligible: stores, branches, and nops
         carry no result value to corrupt in this model.
         """
-        if not op.uop.writes_register():
+        if op.uop.dest is None:  # inlined writes_register(): issue hot path
             return False
-        hit = False
-        if op.seq in self._force:
+        if self._force and op.seq in self._force:
             self._force.discard(op.seq)
-            hit = True
-        elif self.rate > 0.0 and self._rng.random() < self.rate:
-            hit = True
-        if hit:
-            op.faulty = True
-            op.fault_at = op.complete_at
-            self.injected += 1
-        return hit
+        elif not (self.rate > 0.0 and self._rng.random() < self.rate):
+            return False
+        op.faulty = True
+        op.fault_at = op.complete_at
+        self.injected += 1
+        return True

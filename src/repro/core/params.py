@@ -106,6 +106,14 @@ class CoreParams:
             2 FMUL — divides share the multiply units).
         mispredict_penalty: Fetch-redirect cycles after a mispredicted
             branch resolves.
+        frontend_depth: Extra fetch-to-issue pipeline stages.  An op
+            fetched at cycle *t* becomes issue-eligible at
+            ``t + 1 + frontend_depth`` (depth 0 reproduces the legacy
+            two-stage front end).  A deeper front end widens the
+            branch-resolution window: a mispredicted branch issues — and
+            therefore resolves — later, so each mispredict drags more
+            wrong-path work through the shared resources, as a deep pipe
+            would.
         model_wrong_path: Keep fetching (and renaming/issuing/executing)
             down the wrong path while a mispredicted branch is unresolved,
             instead of stalling fetch at the branch.  Wrong-path ops consume
@@ -129,6 +137,7 @@ class CoreParams:
     window_size: int = 128
     fu_counts: Mapping[FUClass, int] = field(default_factory=_table1_fus)
     mispredict_penalty: int = 3
+    frontend_depth: int = 0
     model_wrong_path: bool = True
     wrong_path_depth: int = 64
     wrong_path_seed: int = 0
@@ -143,6 +152,8 @@ class CoreParams:
                 raise ValueError(f"{name} must be positive")
         if self.wrong_path_depth <= 0:
             raise ValueError("wrong_path_depth must be positive")
+        if self.frontend_depth < 0:
+            raise ValueError("frontend_depth must be non-negative")
         if any(count <= 0 for count in self.fu_counts.values()):
             raise ValueError("every functional-unit count must be positive")
         if (
@@ -155,8 +166,13 @@ class CoreParams:
             )
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-serializable snapshot (FU classes by name, checker nested)."""
-        return {
+        """JSON-serializable snapshot (FU classes by name, checker nested).
+
+        ``frontend_depth`` is emitted only when non-zero: experiment-result
+        rows embed this dict, and older stores must stay byte-identical
+        when re-generated with the default (legacy) front end.
+        """
+        data = {
             "fetch_width": self.fetch_width,
             "issue_width": self.issue_width,
             "commit_width": self.commit_width,
@@ -171,6 +187,9 @@ class CoreParams:
             "record_retired": self.record_retired,
             "checker": self.checker.to_dict(),
         }
+        if self.frontend_depth:
+            data["frontend_depth"] = self.frontend_depth
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CoreParams":

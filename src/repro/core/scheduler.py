@@ -19,21 +19,40 @@ class FUPool:
     """Per-class functional-unit availability with unpipelined blocking."""
 
     def __init__(self, counts: Mapping[FUClass, int]):
-        self._counts: dict[FUClass, int] = {cls: 0 for cls in FU_CLASSES}
-        self._counts.update(counts)
-        self._used: dict[FUClass, int] = {cls: 0 for cls in FU_CLASSES}
+        # List storage indexed by FUClass (an IntEnum): the issue loops hit
+        # these several times per op, and list indexing beats dict hashing.
+        self._counts: list[int] = [0] * len(FU_CLASSES)
+        for cls, count in counts.items():
+            self._counts[cls] = count
+        self._used: list[int] = [0] * len(FU_CLASSES)
         # busy-until cycles of units blocked by in-flight unpipelined ops
-        self._blocked: dict[FUClass, list[int]] = {cls: [] for cls in FU_CLASSES}
+        self._blocked: list[list[int]] = [[] for _ in FU_CLASSES]
         self._cycle = -1
+        # Issue-count reset in begin_cycle only touches classes that issued
+        # last cycle; unpipelined reservations are rare enough to track with
+        # one flag instead of four per-cycle list scans.
+        self._used_classes: list[int] = []
+        self._any_blocked = False
 
     def begin_cycle(self, now: int) -> None:
         """Reset per-cycle issue counts and release finished unpipelined units."""
         self._cycle = now
-        for cls in FU_CLASSES:
-            self._used[cls] = 0
-            blocked = self._blocked[cls]
-            if blocked:
-                self._blocked[cls] = [end for end in blocked if end > now]
+        used_classes = self._used_classes
+        if used_classes:
+            used = self._used
+            for cls in used_classes:
+                used[cls] = 0
+            used_classes.clear()
+        if self._any_blocked:
+            blocked_lists = self._blocked
+            any_left = False
+            for cls in FU_CLASSES:
+                blocked = blocked_lists[cls]
+                if blocked:
+                    blocked_lists[cls] = blocked = [end for end in blocked if end > now]
+                    if blocked:
+                        any_left = True
+            self._any_blocked = any_left
 
     def available(self, cls: FUClass) -> int:
         """Units of ``cls`` that can still accept an op this cycle."""
@@ -57,8 +76,28 @@ class FUPool:
             # in the future), so counting it in _used as well would make
             # one divide occupy two units this cycle.
             self._blocked[cls].append(busy_until)
+            self._any_blocked = True
         else:
+            if not self._used[cls]:
+                self._used_classes.append(cls)
             self._used[cls] += 1
+
+    def try_acquire(self, cls: FUClass, busy_until: int | None = None) -> bool:
+        """Fused :meth:`available` + :meth:`acquire` for the issue hot path.
+
+        Returns False (without side effects) when no ``cls`` unit can accept
+        an op this cycle.
+        """
+        if self._counts[cls] - self._used[cls] - len(self._blocked[cls]) <= 0:
+            return False
+        if busy_until is not None:
+            self._blocked[cls].append(busy_until)
+            self._any_blocked = True
+        else:
+            if not self._used[cls]:
+                self._used_classes.append(cls)
+            self._used[cls] += 1
+        return True
 
     def release(self, cls: FUClass, busy_until: int) -> bool:
         """Free one unit blocked through ``busy_until`` (a squashed op).

@@ -47,6 +47,14 @@ class CoreStats:
     #: (percentiles, histograms) rather than just the mean.
     detection_latencies: list[int] = field(default_factory=list)
     memory: dict[str, float] = field(default_factory=dict)
+    # --- scheduling-kernel telemetry (host-side measurements, NOT simulated
+    # state; deliberately excluded from to_dict() so result rows — and the
+    # sweep stores built from them — stay deterministic and byte-identical
+    # across machines, worker counts, and kernel revisions) ---
+    #: Wall-clock seconds one run() call took (read by `repro bench`).
+    wall_seconds: float = 0.0
+    #: Timed wakeups posted to the event wheel over the run.
+    sched_events: int = 0
 
     @property
     def ipc(self) -> float:

@@ -19,8 +19,13 @@ properties the tests pin down:
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
+import signal
+import threading
+import time
 import traceback
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator
 
@@ -29,6 +34,12 @@ from repro.experiments.store import ResultsStore
 
 #: Progress callback: (completed count, pending total, the row just stored).
 ProgressFn = Callable[[int, int, dict], None]
+
+#: Transient row key carrying the point's wall time from the worker to the
+#: parent.  Popped before the row reaches the store: store rows must stay a
+#: pure function of the config (byte-identical across machines and worker
+#: counts), and wall time is neither.
+ELAPSED_KEY = "_elapsed_s"
 
 
 @dataclass(slots=True)
@@ -39,51 +50,106 @@ class SweepSummary:
     cached: int  #: skipped — already completed in the store (or in-grid dupes)
     executed: int  #: actually simulated this invocation
     errors: int  #: executed points that produced error rows
+    wall_seconds: float = 0.0  #: wall time of this invocation's execution loop
+    slowest_point_s: float = 0.0  #: worst single-point wall time observed
 
-    def to_dict(self) -> dict[str, int]:
+    def to_dict(self) -> dict[str, int | float]:
         return {
             "total": self.total,
             "cached": self.cached,
             "executed": self.executed,
             "errors": self.errors,
+            "wall_seconds": self.wall_seconds,
+            "slowest_point_s": self.slowest_point_s,
         }
 
 
-def execute_point(config: dict[str, Any]) -> dict[str, Any]:
+class PointTimeout(Exception):
+    """A grid point exceeded its per-point wall-clock budget."""
+
+
+@contextmanager
+def _wall_clock_limit(seconds: float | None):
+    """Raise :class:`PointTimeout` in the calling thread after ``seconds``.
+
+    Uses ``SIGALRM``/``setitimer`` (pool tasks run on each worker's main
+    thread, where the signal is deliverable).  Where the timer cannot be
+    armed — platforms without ``SIGALRM`` (Windows), or an in-process
+    ``run_sweep`` called from a non-main thread — the limit degrades to a
+    no-op instead of erroring every point.
+    """
+    if (
+        seconds is None
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise PointTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def execute_point(
+    config: dict[str, Any], timeout_s: float | None = None
+) -> dict[str, Any]:
     """Run one grid point; always returns a row, never raises.
 
     Top-level (picklable) so it works under any multiprocessing start
     method.  The import is deferred so pool workers spawned under
     ``spawn`` pay it once here rather than at module import in the parent.
+    A point that exceeds ``timeout_s`` wall seconds becomes an error row —
+    retried by the next invocation like any other error — instead of a
+    stuck worker.  The row's ``_elapsed_s`` is transport-only (see
+    :data:`ELAPSED_KEY`).
     """
     row: dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "config_hash": config_hash(config),
         "config": config,
     }
+    started = time.perf_counter()
     try:
         from repro.cli import run_experiment
         from repro.workloads import preset
 
         point = RunPoint.from_config(config)
         row["group_hash"] = point.group_hash()
-        result = run_experiment(
-            preset(point.preset),
-            num_ops=point.ops,
-            seed=point.seed,
-            check=True,
-            fault_rate=point.fault_rate,
-            real_predictor=point.real_predictor,
-            wrong_path=point.wrong_path,
-            wrong_path_depth=point.wrong_path_depth,
-            params=point.core_params(),
+        with _wall_clock_limit(timeout_s):
+            result = run_experiment(
+                preset(point.preset),
+                num_ops=point.ops,
+                seed=point.seed,
+                check=True,
+                fault_rate=point.fault_rate,
+                real_predictor=point.real_predictor,
+                wrong_path=point.wrong_path,
+                wrong_path_depth=point.wrong_path_depth,
+                params=point.core_params(),
+            )
+    except PointTimeout:
+        row["status"] = "error"
+        row["error"] = (
+            f"timeout: point exceeded its {timeout_s}s wall-clock budget"
         )
+        row[ELAPSED_KEY] = round(time.perf_counter() - started, 3)
+        return row
     except Exception:
         row["status"] = "error"
         row["error"] = traceback.format_exc()
+        row[ELAPSED_KEY] = round(time.perf_counter() - started, 3)
         return row
     row["status"] = "ok"
     row["result"] = result
+    row[ELAPSED_KEY] = round(time.perf_counter() - started, 3)
     return row
 
 
@@ -110,32 +176,53 @@ def run_sweep(
     store: ResultsStore,
     workers: int = 1,
     progress: ProgressFn | None = None,
+    timeout_s: float | None = None,
 ) -> SweepSummary:
-    """Execute every not-yet-stored point of ``spec`` into ``store``."""
+    """Execute every not-yet-stored point of ``spec`` into ``store``.
+
+    ``timeout_s`` bounds each point's wall time (None defers to the spec's
+    ``timeout_s`` field; both None disables the bound).  Per-point wall
+    times are surfaced through the progress callback (the popped
+    ``_elapsed_s``) and aggregated into the summary, never stored.
+    """
+    if timeout_s is None:
+        timeout_s = getattr(spec, "timeout_s", None)
     points = spec.points()
     pending, cached = _pending_points(points, store)
     configs = [point.config() for point in pending]
     executed = 0
     errors = 0
-    for row in _result_rows(configs, workers):
+    slowest = 0.0
+    started = time.perf_counter()
+    for row in _result_rows(configs, workers, timeout_s):
+        elapsed = row.pop(ELAPSED_KEY, 0.0)
+        slowest = max(slowest, elapsed)
         store.append(row)
         executed += 1
         if row.get("status") != "ok":
             errors += 1
         if progress is not None:
+            row["_elapsed_s"] = elapsed  # callback-visible, already un-stored
             progress(executed, len(configs), row)
+            del row["_elapsed_s"]
     return SweepSummary(
-        total=len(points), cached=cached, executed=executed, errors=errors
+        total=len(points),
+        cached=cached,
+        executed=executed,
+        errors=errors,
+        wall_seconds=round(time.perf_counter() - started, 3),
+        slowest_point_s=slowest,
     )
 
 
 def _result_rows(
-    configs: list[dict[str, Any]], workers: int
+    configs: list[dict[str, Any]], workers: int, timeout_s: float | None
 ) -> Iterator[dict[str, Any]]:
+    worker = functools.partial(execute_point, timeout_s=timeout_s)
     if workers <= 1 or len(configs) <= 1:
-        yield from map(execute_point, configs)
+        yield from map(worker, configs)
         return
     with multiprocessing.Pool(processes=min(workers, len(configs))) as pool:
         # Ordered imap: rows stream back as they finish but are yielded in
         # submission order, so the store layout is worker-count-invariant.
-        yield from pool.imap(execute_point, configs, chunksize=1)
+        yield from pool.imap(worker, configs, chunksize=1)

@@ -238,6 +238,11 @@ class SweepSpec:
     presets: list[str]
     seeds: list[int]
     ops: int = 20_000
+    #: Per-point wall-clock budget in seconds (None = unbounded).  A point
+    #: exceeding it becomes an error row — retried on the next invocation —
+    #: instead of a stuck worker.  Scalar, not an axis: it shapes execution,
+    #: not the experiment, so it never enters a point's config hash.
+    timeout_s: float | None = None
     fault_rates: list[float] = field(default_factory=_default_fault_rates)
     issue_widths: list[int] = field(default_factory=_default_issue_widths)
     slot_policies: list[str] = field(default_factory=_default_slot_policies)
@@ -250,6 +255,8 @@ class SweepSpec:
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("sweep name must be non-empty")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
         for axis in (
             "presets",
             "seeds",

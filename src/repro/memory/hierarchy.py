@@ -9,7 +9,14 @@ parallelism in the paper's experiments.
 
 State updates are *eager*: a miss installs its line immediately while the
 returned ready cycle carries the timing, which keeps the model single-pass
-and deterministic without an event queue.
+and deterministic.  The exception is the L1D, whose fills are deferred
+until the miss response arrives; with a scheduling kernel attached (see
+:meth:`MemoryHierarchy.attach_wheel`) each deferred fill posts an
+``EV_MEM_FILL`` wheel event for its arrival cycle instead of being polled
+on every access, and the drain runs only once a response is actually due.
+Fills are still *applied* at the first data access on or after arrival —
+identical observable timing to the polled model, verified by the
+golden-equivalence suite.
 """
 
 from __future__ import annotations
@@ -19,6 +26,10 @@ from dataclasses import dataclass, field
 from repro.memory.bus import MemoryBus
 from repro.memory.cache import LINE_BYTES, Cache, CacheStats
 from repro.memory.mshr import MSHRFile, MSHROutcome
+
+#: Mirror of :data:`repro.core.sched.EV_MEM_FILL` (importing it here would
+#: cycle: repro.core.core imports this module).  Pinned equal by a test.
+_EV_MEM_FILL = 1
 
 
 @dataclass(slots=True)
@@ -106,6 +117,30 @@ class MemoryHierarchy:
         # once the miss response arrives, so accesses in the shadow of an
         # outstanding miss merge at the MSHRs instead of hitting early.
         self._pending_fills: dict[int, list] = {}
+        # Scheduling-kernel hookup: with a wheel attached, each deferred
+        # fill posts an EV_MEM_FILL event and `_fills_armed` flips only
+        # when a response is due, replacing the per-access poll.
+        self._wheel = None
+        self._fills_armed = False
+
+    def attach_wheel(self, wheel) -> None:
+        """Route deferred-fill arrivals through ``wheel`` (an
+        :class:`~repro.core.sched.EventWheel`) instead of per-access polls.
+
+        The core re-attaches its fresh wheel every run; events posted to a
+        previous run's wheel die with it.
+        """
+        self._wheel = wheel
+        self._fills_armed = False
+
+    def fills_due(self) -> None:
+        """EV_MEM_FILL delivery: a miss response has arrived.
+
+        Arms the drain; the fill is applied at the next data access, which
+        is exactly when the polled model would have applied it (the L1D is
+        only observable through accesses).
+        """
+        self._fills_armed = True
 
     def _drain_fills(self, now: int) -> None:
         if not self._pending_fills:
@@ -146,7 +181,11 @@ class MemoryHierarchy:
         into both levels.  Refusals (``ok=False``) consume no port.
         """
         p = self.params
-        self._drain_fills(now)
+        if self._wheel is None:
+            self._drain_fills(now)
+        elif self._fills_armed:
+            self._drain_fills(now)
+            self._fills_armed = False
         if not self._take_port(now):
             return AccessResult(ok=False, reason="port")
         if self.l1d.lookup(addr, is_store=is_store):
@@ -180,6 +219,8 @@ class MemoryHierarchy:
         ready, level = self._fetch_line(addr, now)
         self.mshrs.request(line, now, ready)
         self._pending_fills[line] = [ready, addr, is_store]
+        if self._wheel is not None:
+            self._wheel.post(ready, _EV_MEM_FILL, line)
         self.stats.accesses[level] += 1
         return AccessResult(ok=True, ready_at=ready, level=level)
 
@@ -249,6 +290,7 @@ class MemoryHierarchy:
         self._port_cycle = -1
         self._ports_used = 0
         self._pending_fills.clear()
+        self._fills_armed = False
 
     def snapshot(self) -> dict[str, float]:
         """Flat stats dict for reports."""

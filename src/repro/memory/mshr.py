@@ -14,6 +14,10 @@ import enum
 from dataclasses import dataclass
 
 
+#: Sentinel "no in-flight miss" completion cycle (any real cycle is lower).
+_NEVER = float("inf")
+
+
 class MSHROutcome(enum.Enum):
     """Result of asking the MSHR file to track a miss."""
 
@@ -38,17 +42,24 @@ class MSHRFile:
         self.entries = entries
         self.targets_per_entry = targets_per_entry
         self._misses: dict[int, _Miss] = {}
+        # Earliest in-flight completion: reclaim scans only when some miss
+        # can actually have finished (this sits on the access hot path).
+        self._next_ready = _NEVER
         self.allocations = 0
         self.merges = 0
         self.full_stalls = 0
         self.target_stalls = 0
 
     def _reclaim(self, now: int) -> None:
-        if not self._misses:
+        if now < self._next_ready:
             return
-        finished = [line for line, miss in self._misses.items() if miss.ready_at <= now]
+        misses = self._misses
+        finished = [line for line, miss in misses.items() if miss.ready_at <= now]
         for line in finished:
-            del self._misses[line]
+            del misses[line]
+        self._next_ready = (
+            min(miss.ready_at for miss in misses.values()) if misses else _NEVER
+        )
 
     def outstanding(self, now: int) -> int:
         """Number of line misses still in flight at cycle ``now``."""
@@ -82,12 +93,15 @@ class MSHRFile:
             self.full_stalls += 1
             return MSHROutcome.NO_MSHR, now
         self._misses[line] = _Miss(ready_at=ready_at, targets=1)
+        if ready_at < self._next_ready:
+            self._next_ready = ready_at
         self.allocations += 1
         return MSHROutcome.NEW, ready_at
 
     def flush(self) -> None:
         """Drop all in-flight state (between independent regions)."""
         self._misses.clear()
+        self._next_ready = _NEVER
 
     def reset(self) -> None:
         """Drop in-flight state *and* counters (between independent runs)."""

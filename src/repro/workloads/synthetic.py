@@ -19,7 +19,9 @@ test suite both rely on.
 
 from __future__ import annotations
 
+import itertools
 import random
+from bisect import bisect
 from collections import deque
 from dataclasses import dataclass
 
@@ -198,49 +200,89 @@ class WrongPathGenerator:
         mix.pop(OpClass.NOP, None)  # nops waste no back-end bandwidth
         self._ops = tuple(mix.keys())
         self._weights = tuple(mix.values())
+        # Precomputed cumulative weights reproduce random.choices() exactly
+        # (same accumulate -> random() * total -> bisect arithmetic) while
+        # skipping the per-call accumulation — the stream generator sits on
+        # the core's per-fetched-op hot path.
+        self._cum_weights = list(itertools.accumulate(self._weights))
+        self._total_weight = self._cum_weights[-1] + 0.0
         self._seed = seed
         self._hot_lines = profile.hot_lines if profile is not None else 256
 
     def stream(self, branch: MicroOp, seq: int, depth: int) -> list[MicroOp]:
         """Synthesize up to ``depth`` wrong-path micro-ops for ``branch``."""
+        return list(self.iter_stream(branch, seq, depth))
+
+    def iter_stream(self, branch: MicroOp, seq: int, depth: int):
+        """Lazily yield up to ``depth`` wrong-path micro-ops for ``branch``.
+
+        The RNG draws for op *i* happen only when op *i* is requested, in
+        the exact order :meth:`stream` performs them, so a consumer that
+        stops after *k* ops sees the identical prefix of the eager list —
+        the core exploits this to synthesize only what it fetches before
+        the branch resolves (~1/6 of the depth on the branchy preset).
+        """
         if branch.taken:
             wrong_pc = branch.pc + 4  # predicted not-taken, fell through
         else:
             wrong_pc = branch.target if branch.target is not None else branch.pc + 4
         rng = random.Random(self._seed * 0x9E3779B1 ^ (branch.pc << 4) ^ seq)
-        recent: deque[int] = deque(maxlen=8)
-        ops: list[MicroOp] = []
+        rng_random = rng.random
+        rng_randrange = rng.randrange
+        rng_choice = rng.choice
+        population = self._ops
+        cum_weights = self._cum_weights
+        total = self._total_weight
+        hi = len(population) - 1
+        # A plain list with manual trimming draws identically to the old
+        # deque(maxlen=8) (random.choice indexes either) without a
+        # tuple() conversion per source draw.
+        recent: list[int] = []
+        micro_op = MicroOp  # positional fields: op, dest, srcs, pc, addr
+        branch_cls = OpClass.BRANCH
+        load_cls = OpClass.LOAD
+        store_cls = OpClass.STORE
         for i in range(depth):
             pc = wrong_pc + 4 * i
-            op = rng.choices(self._ops, weights=self._weights)[0]
-            srcs = tuple(
-                rng.choice(tuple(recent)) if recent and rng.random() < 0.4 else REG_ZERO
-                for _ in range(2)
-            )
-            if op is OpClass.BRANCH:
-                ops.append(MicroOp(op=op, srcs=srcs[:1], pc=pc))
+            op = population[bisect(cum_weights, rng_random() * total, 0, hi)]
+            # Unrolled two-source draw; short-circuit order (recent
+            # truthiness before the RNG draw) matches the eager generator
+            # exactly, so the RNG stream is unchanged.
+            if recent and rng_random() < 0.4:
+                src0 = rng_choice(recent)
+            else:
+                src0 = REG_ZERO
+            if recent and rng_random() < 0.4:
+                srcs = (src0, rng_choice(recent))
+            else:
+                srcs = (src0, REG_ZERO)
+            if op is branch_cls:
+                yield micro_op(op, None, (src0,), pc)
                 continue
-            if op is OpClass.LOAD or op is OpClass.STORE:
-                if rng.random() < 0.3:
+            if op is load_cls or op is store_cls:
+                if rng_random() < 0.3:
                     # Stray into the real working set: contend for its lines.
-                    addr = _HOT_BASE + _LINE_BYTES * rng.randrange(self._hot_lines)
+                    addr = _HOT_BASE + _LINE_BYTES * rng_randrange(self._hot_lines)
                 else:
-                    addr = _WRONG_PATH_DATA_BASE + _LINE_BYTES * rng.randrange(4096)
-                if op is OpClass.STORE:
-                    ops.append(MicroOp(op=op, srcs=srcs, pc=pc, addr=addr))
+                    addr = _WRONG_PATH_DATA_BASE + _LINE_BYTES * rng_randrange(4096)
+                if op is store_cls:
+                    yield micro_op(op, None, srcs, pc, addr)
                     continue
-                dest = int_reg(rng.randrange(1, NUM_INT_REGS))
+                dest = int_reg(rng_randrange(1, NUM_INT_REGS))
                 recent.append(dest)
-                ops.append(MicroOp(op=op, dest=dest, srcs=srcs[:1], pc=pc, addr=addr))
+                if len(recent) > 8:
+                    del recent[0]
+                yield micro_op(op, dest, (src0,), pc, addr)
                 continue
             fp = is_fp(op)
             if fp:
-                dest = fp_reg(rng.randrange(NUM_FP_REGS))
+                dest = fp_reg(rng_randrange(NUM_FP_REGS))
             else:
-                dest = int_reg(rng.randrange(1, NUM_INT_REGS))
+                dest = int_reg(rng_randrange(1, NUM_INT_REGS))
             recent.append(dest)
-            ops.append(MicroOp(op=op, dest=dest, srcs=srcs, pc=pc))
-        return ops
+            if len(recent) > 8:
+                del recent[0]
+            yield micro_op(op, dest, srcs, pc)
 
 
 def generate(profile: WorkloadProfile, num_ops: int, seed: int = 0) -> list[MicroOp]:

@@ -1,0 +1,91 @@
+"""frontend_depth: extra fetch-to-issue stages widen the resolution window."""
+
+import pytest
+
+from repro.core import CheckerParams, CoreParams, SuperscalarCore
+from repro.isa import MicroOp, OpClass
+from repro.workloads import generate, preset
+
+
+def small_params(**overrides) -> CoreParams:
+    defaults = dict(
+        fetch_width=4,
+        issue_width=4,
+        commit_width=4,
+        window_size=32,
+        model_icache=False,
+        record_retired=True,
+    )
+    defaults.update(overrides)
+    return CoreParams(**defaults)
+
+
+def ialu(dest, *srcs):
+    return MicroOp(op=OpClass.IALU, dest=dest, srcs=srcs)
+
+
+def test_depth_zero_reproduces_the_legacy_two_stage_front_end():
+    trace = [ialu(1), ialu(2, 1), ialu(3, 2)]
+    legacy = SuperscalarCore(small_params()).run(list(trace))
+    explicit = SuperscalarCore(small_params(frontend_depth=0)).run(list(trace))
+    assert legacy.to_dict() == explicit.to_dict()
+
+
+def test_each_stage_delays_first_issue_by_one_cycle():
+    trace = [ialu(1)]
+    for depth in (0, 1, 3):
+        core = SuperscalarCore(small_params(frontend_depth=depth))
+        core.run(trace)
+        # Fetch at cycle 0; issue runs before fetch within a cycle, so the
+        # baseline first-issue opportunity is cycle 1, plus one per stage.
+        assert core.retired[0].issued_at == 1 + depth
+        assert core.retired[0].fetched_at == 0
+
+
+def test_dependent_chain_still_respects_both_holds_and_deps():
+    trace = [ialu(1), ialu(2, 1)]
+    core = SuperscalarCore(small_params(frontend_depth=2))
+    core.run(trace)
+    first, second = core.retired
+    assert first.issued_at == 3  # fetch@0 + 1 + depth 2
+    # The dependent waits for the producer's result (cycle 4), which lands
+    # after its own front-end hold expires.
+    assert second.issued_at == first.complete_at
+
+
+def test_deeper_front_end_drags_more_wrong_path_work_per_mispredict():
+    """The ROADMAP follow-on this knob exists for: a branch that issues
+    later resolves later, so each mispredict fetches and executes more
+    wrong-path micro-ops through the shared resources."""
+    trace = generate(preset("branchy"), 4000, seed=3)
+    shallow = SuperscalarCore(CoreParams(model_icache=False)).run(list(trace))
+    deep = SuperscalarCore(
+        CoreParams(model_icache=False, frontend_depth=6)
+    ).run(list(trace))
+    assert shallow.branch_mispredicts == deep.branch_mispredicts
+    assert deep.wrong_path_fetched > shallow.wrong_path_fetched
+    assert deep.wrong_path_squashed == deep.wrong_path_fetched
+    assert deep.cycles > shallow.cycles
+
+
+def test_frontend_depth_works_with_the_checker_and_faults():
+    trace = generate(preset("int-heavy"), 2000, seed=1)
+    params = CoreParams(
+        frontend_depth=4,
+        checker=CheckerParams(enabled=True, fault_rate=0.01, fault_seed=5),
+    )
+    stats = SuperscalarCore(params).run(trace)
+    assert stats.committed == 2000
+    assert stats.faults_injected > 0
+    assert stats.faults_detected + stats.faults_squashed == stats.faults_injected
+
+
+def test_frontend_depth_validation_and_serialization():
+    with pytest.raises(ValueError):
+        CoreParams(frontend_depth=-1)
+    # Omitted-when-zero: stored result rows keep their pre-knob byte layout.
+    assert "frontend_depth" not in CoreParams().to_dict()
+    data = CoreParams(frontend_depth=3).to_dict()
+    assert data["frontend_depth"] == 3
+    assert CoreParams.from_dict(data).frontend_depth == 3
+    assert CoreParams.from_dict(CoreParams().to_dict()).frontend_depth == 0

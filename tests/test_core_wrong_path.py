@@ -1,7 +1,5 @@
 """Wrong-path execution: fetch past mispredicts, resource waste, squash."""
 
-from collections import deque
-
 from repro.core import CheckerParams, CoreParams, SuperscalarCore
 from repro.core.checker import Checker
 from repro.core.dynop import DynOp
@@ -121,26 +119,37 @@ def test_wrong_path_ops_are_never_checked():
 
 
 def test_checker_issue_skips_wrong_path_ops_and_their_registers():
+    """Wrong-path ops never join the check queue (the core enqueues only
+    correct-path renames), and a stale squashed entry at the queue head is
+    dropped lazily without blocking the in-order scan or advertising a
+    verified register."""
     pool = FUPool({cls: 8 for cls in FU_CLASSES})
     pool.begin_cycle(5)
     stats = CoreStats()
     checker = Checker(pool, default_latencies(), stats)
-    wp = DynOp(
-        uop=MicroOp(op=OpClass.IALU, dest=7),
-        seq=100,
-        fetched_at=0,
-        wrong_path=True,
-        branch_color=1,
-    )
-    wp.complete_at = 3
+    squashed = DynOp(uop=MicroOp(op=OpClass.IALU, dest=7), seq=100, fetched_at=0)
+    squashed.complete_at = 3
+    squashed.squashed = True
     real = DynOp(uop=MicroOp(op=OpClass.IALU, dest=8), seq=101, fetched_at=0)
     real.complete_at = 3
-    window = deque([wp, real])
-    used = checker.issue(window, now=5, slots=4)
+    checker.enqueue(squashed)
+    checker.enqueue(real)
+    used = checker.issue(now=5, slots=4)
     assert used == 1
-    assert wp.check_issued_at is None  # skipped, not blocking the scan
+    assert squashed.check_issued_at is None  # dropped, not blocking the scan
     assert real.check_issued_at == 5
     assert 7 not in checker._reg_ready  # no verified-value advertisement
+
+
+def test_wrong_path_ops_never_enter_the_check_queue():
+    """End-to-end: a checked run through a wrong-path episode enqueues only
+    the architectural ops for verification."""
+    params = wp_params(checker=CheckerParams(enabled=True))
+    core = SuperscalarCore(params)
+    stats = core.run(slow_branch_trace())
+    assert stats.wrong_path_fetched > 0
+    assert len(core.checker._pending) == 0  # drained: every real op checked
+    assert stats.checks_completed == 5
 
 
 def test_recovery_sweeps_an_active_wrong_path_episode():

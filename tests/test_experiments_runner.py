@@ -12,11 +12,20 @@ SPEC = SweepSpec(
 )
 
 
+def _counts(summary) -> dict:
+    """The deterministic part of a summary (timings vary per run)."""
+    data = summary.to_dict()
+    assert data.pop("wall_seconds") >= 0.0
+    assert data.pop("slowest_point_s") >= 0.0
+    return data
+
+
 def test_sweep_executes_every_point_and_resumes_with_zero(tmp_path):
     store = ResultsStore(tmp_path / "r.jsonl")
     seen = []
     summary = run_sweep(SPEC, store, workers=1, progress=lambda i, n, row: seen.append((i, n)))
-    assert summary.to_dict() == {"total": 4, "cached": 0, "executed": 4, "errors": 0}
+    assert _counts(summary) == {"total": 4, "cached": 0, "executed": 4, "errors": 0}
+    assert summary.slowest_point_s > 0.0  # per-point wall time captured
     assert seen == [(1, 4), (2, 4), (3, 4), (4, 4)]
     rows = store.ok_rows()
     assert len(rows) == 4
@@ -25,7 +34,7 @@ def test_sweep_executes_every_point_and_resumes_with_zero(tmp_path):
         assert row["group_hash"]  # grouping key precomputed for reports
     # Second invocation: the store already covers the whole grid.
     again = run_sweep(SPEC, store, workers=1)
-    assert again.to_dict() == {"total": 4, "cached": 4, "executed": 0, "errors": 0}
+    assert _counts(again) == {"total": 4, "cached": 4, "executed": 0, "errors": 0}
     assert len(store.rows()) == 4
 
 
@@ -62,5 +71,53 @@ def test_error_rows_isolate_crashes_and_are_retried(tmp_path):
 
 
 def test_execute_point_rows_are_deterministic():
-    config = SPEC.points()[0].config()
-    assert execute_point(config) == execute_point(config)
+    """Everything but the transport-only wall time is a pure function of
+    the config — the property that makes stores byte-identical."""
+    from repro.experiments.runner import ELAPSED_KEY
+
+    first = execute_point(SPEC.points()[0].config())
+    second = execute_point(SPEC.points()[0].config())
+    assert first.pop(ELAPSED_KEY) > 0.0
+    assert second.pop(ELAPSED_KEY) > 0.0
+    assert first == second
+
+
+def test_point_timeout_produces_a_retryable_error_row(tmp_path):
+    """A hung/slow config becomes an error row naming the budget instead of
+    a stuck worker, and resume retries it (its hash stays incomplete)."""
+    slow = SweepSpec(
+        name="timeout-test", presets=["int-heavy"], seeds=[0], ops=20_000
+    )
+    store = ResultsStore(tmp_path / "r.jsonl")
+    summary = run_sweep(slow, store, workers=1, timeout_s=0.01)
+    assert _counts(summary) == {"total": 1, "cached": 0, "executed": 1, "errors": 1}
+    (row,) = store.rows()
+    assert row["status"] == "error"
+    assert "timeout" in row["error"] and "0.01" in row["error"]
+    assert "_elapsed_s" not in row  # wall time never reaches the store
+    assert store.completed_hashes() == set()  # retried on the next invocation
+
+
+def test_spec_timeout_field_applies_and_cli_override_wins(tmp_path):
+    spec = SweepSpec(
+        name="spec-timeout", presets=["int-heavy"], seeds=[0], ops=20_000,
+        timeout_s=0.01,
+    )
+    store = ResultsStore(tmp_path / "spec.jsonl")
+    summary = run_sweep(spec, store, workers=1)  # spec field alone trips it
+    assert summary.errors == 1
+    generous = ResultsStore(tmp_path / "generous.jsonl")
+    summary = run_sweep(spec, generous, workers=1, timeout_s=300.0)  # override
+    assert _counts(summary) == {"total": 1, "cached": 0, "executed": 1, "errors": 0}
+
+
+def test_timeout_applies_across_pool_workers(tmp_path):
+    """SIGALRM-based budgets work inside multiprocessing workers too."""
+    spec = SweepSpec(
+        name="pool-timeout", presets=["int-heavy", "branchy"], seeds=[0],
+        ops=20_000, timeout_s=0.01,
+    )
+    store = ResultsStore(tmp_path / "pool.jsonl")
+    summary = run_sweep(spec, store, workers=2)
+    assert summary.executed == 2 and summary.errors == 2
+    assert all("timeout" in row["error"] for row in store.rows())
