@@ -31,8 +31,11 @@ import time
 from pathlib import Path
 from typing import Any
 
+from dataclasses import replace
+
 from repro.core.core import SuperscalarCore
-from repro.core.params import CheckerParams, CoreParams
+from repro.core.params import CheckerParams, CoreParams, MemDepParams
+from repro.memory.hierarchy import HierarchyParams, MemoryHierarchy
 from repro.workloads import PRESETS, WrongPathGenerator, generate
 
 #: Default committed reference (relative to the repository root / CWD).
@@ -46,11 +49,24 @@ HEADLINE_CONFIG = "big-core"
 
 #: Benchmark machine configurations.  ``table1`` is the paper's machine;
 #: ``big-core`` scales the window/wrong-path depth to the MEEK-style shape
-#: whose simulation cost motivated the kernel; ``ci-smoke`` is a short
-#: big-core run for CI.
-BENCH_CONFIGS: dict[str, dict[str, int]] = {
+#: whose simulation cost motivated the kernel; ``memdep`` runs the paper's
+#: machine on an aliasing memory-bound workload with the full
+#: memory-dependence subsystem (LSQ, store sets, forwarding, violations)
+#: and a banked D-cache — the timing cost of those paths; ``ci-smoke`` is
+#: a short big-core run for CI.  Entries default to the branchy preset, no
+#: memdep, one bank, and zero alias fraction when the keys are absent.
+BENCH_CONFIGS: dict[str, dict[str, Any]] = {
     "table1": {"ops": 100_000, "window_size": 128, "wrong_path_depth": 64},
     "big-core": {"ops": 100_000, "window_size": 1024, "wrong_path_depth": 512},
+    "memdep": {
+        "ops": 60_000,
+        "window_size": 128,
+        "wrong_path_depth": 64,
+        "preset": "memory-bound",
+        "memdep": True,
+        "dcache_banks": 4,
+        "store_alias_fraction": 0.25,
+    },
     "ci-smoke": {"ops": 20_000, "window_size": 1024, "wrong_path_depth": 512},
 }
 
@@ -92,7 +108,6 @@ def run_bench(
     length) — the speedup versus the scan core plus a strict stats-identity
     verdict.
     """
-    profile = PRESETS["branchy"]
     ref_configs = (reference or {}).get("configs", {})
     report: dict[str, Any] = {
         "bench": "core-kernel",
@@ -109,6 +124,12 @@ def run_bench(
         if ops_override is not None:
             shape["ops"] = ops_override
         ops = shape["ops"]
+        profile = PRESETS[shape.get("preset", "branchy")]
+        alias_fraction = shape.get("store_alias_fraction", 0.0)
+        if alias_fraction:
+            profile = replace(profile, store_alias_fraction=alias_fraction)
+        memdep_on = bool(shape.get("memdep", False))
+        banks = shape.get("dcache_banks", 1)
         trace = generate(profile, ops, seed=seed)
         wp_source = WrongPathGenerator(profile, seed=seed).iter_stream
         ref_entry = ref_configs.get(name)
@@ -126,8 +147,16 @@ def run_bench(
                 window_size=shape["window_size"],
                 wrong_path_depth=shape["wrong_path_depth"],
                 checker=checker,
+                memdep=MemDepParams(enabled=memdep_on),
             )
-            core = SuperscalarCore(params, wrong_path_source=wp_source)
+            hierarchy = (
+                MemoryHierarchy(HierarchyParams(dcache_banks=banks))
+                if banks != 1
+                else None
+            )
+            core = SuperscalarCore(
+                params, hierarchy=hierarchy, wrong_path_source=wp_source
+            )
             wall, stats = _time_run(core, trace, repeats)
             stats_dict = stats.to_dict()
             mode_report: dict[str, Any] = {
@@ -143,6 +172,10 @@ def run_bench(
                 mode_report["mean_detection_latency"] = round(
                     stats.mean_detection_latency, 3
                 )
+            if memdep_on:
+                mode_report["mem_order_violations"] = stats.mem_order_violations
+                mode_report["loads_forwarded"] = stats.loads_forwarded
+                mode_report["loads_delayed"] = stats.loads_delayed
             if ref_entry is not None:
                 ref_mode = ref_entry[mode]
                 mode_report["baseline_wall_s"] = ref_mode["wall_s"]
@@ -168,10 +201,15 @@ def format_bench(report: dict[str, Any]) -> str:
         f"repeats={report['repeats']} (best-of)",
     ]
     for name, entry in report["configs"].items():
-        lines.append(
+        detail = (
             f"  [{name}] ops={entry['ops']} window={entry['window_size']} "
             f"wrong-path-depth={entry['wrong_path_depth']}"
         )
+        if "preset" in entry:
+            detail += f" preset={entry['preset']}"
+        if entry.get("memdep"):
+            detail += f" memdep banks={entry.get('dcache_banks', 1)}"
+        lines.append(detail)
         for mode in ("unchecked", "checked"):
             mode_report = entry[mode]
             line = (

@@ -32,8 +32,9 @@ import sys
 from dataclasses import replace
 from typing import Sequence
 
-from repro.core.params import CheckerParams, CoreParams
+from repro.core.params import CheckerParams, CoreParams, MemDepParams
 from repro.core.core import SuperscalarCore
+from repro.memory.hierarchy import HierarchyParams, MemoryHierarchy
 from repro.workloads import PRESET_NAMES, PRESETS, WorkloadProfile, WrongPathGenerator, generate
 
 #: Single source of truth for the depth default (the CoreParams field).
@@ -57,6 +58,8 @@ def run_experiment(
     wrong_path: bool = True,
     wrong_path_depth: int = _DEFAULT_WRONG_PATH_DEPTH,
     params: CoreParams | None = None,
+    dcache_banks: int = 1,
+    store_alias_fraction: float | None = None,
 ) -> dict:
     """Run one preset through baseline and (optionally) checked cores.
 
@@ -67,16 +70,23 @@ def run_experiment(
 
     Args:
         params: Optional base :class:`CoreParams` (issue width, FU counts,
-            checker slot policy, …).  The explicit keyword arguments —
-            predictor mode, wrong-path knobs, and the per-run checker
-            enable/fault-rate/seed — are applied on top of it; sweeps use
-            this to vary machine shape per grid point.
+            checker slot policy, memory-dependence knobs, …).  The explicit
+            keyword arguments — predictor mode, wrong-path knobs, and the
+            per-run checker enable/fault-rate/seed — are applied on top of
+            it; sweeps use this to vary machine shape per grid point.
+        dcache_banks: D-cache banks per core (1 = the legacy unbanked
+            model; more makes checker loads/stores compete for bank slots).
+        store_alias_fraction: When set, overrides the profile's
+            ``store_alias_fraction`` (see
+            :class:`~repro.workloads.profiles.WorkloadProfile`).
 
     The returned dict is fully JSON-serializable (validated by the CLI
     schema tests): stats are flattened via ``CoreStats.to_dict`` and the
     effective machine configuration is recorded under ``"params"`` via
     ``CoreParams.to_dict`` (enum-keyed FU counts become name-keyed).
     """
+    if store_alias_fraction is not None:
+        profile = replace(profile, store_alias_fraction=store_alias_fraction)
     trace = generate(profile, num_ops, seed=seed)
     # iter_stream: the core consumes wrong-path streams lazily, so only the
     # prefix fetched before each branch resolves is ever synthesized.
@@ -100,7 +110,17 @@ def run_experiment(
     checker_params = replace(
         base.checker, enabled=True, fault_rate=fault_rate, fault_seed=seed + 1
     )
-    baseline = SuperscalarCore(core_params(), wrong_path_source=wp_source)
+
+    def hierarchy() -> MemoryHierarchy | None:
+        # None keeps the core's own default hierarchy; a banked run needs a
+        # *separate* instance per core (hierarchies hold per-run state).
+        if dcache_banks == 1:
+            return None
+        return MemoryHierarchy(HierarchyParams(dcache_banks=dcache_banks))
+
+    baseline = SuperscalarCore(
+        core_params(), hierarchy=hierarchy(), wrong_path_source=wp_source
+    )
     baseline_stats = baseline.run(trace)
     result: dict = {
         "preset": profile.name,
@@ -111,7 +131,9 @@ def run_experiment(
         "unchecked": baseline_stats.to_dict(),
     }
     if check:
-        checked = SuperscalarCore(core_params(checker_params), wrong_path_source=wp_source)
+        checked = SuperscalarCore(
+            core_params(checker_params), hierarchy=hierarchy(), wrong_path_source=wp_source
+        )
         checked_stats = checked.run(trace)
         result["checked"] = checked_stats.to_dict()
         # None (JSON null) rather than inf: json.dumps would emit the
@@ -148,6 +170,18 @@ def format_report(result: dict) -> str:
             f"issued {unchecked['wrong_path_issued']:.0f}  "
             f"slot-waste {unchecked['wrong_path_slot_rate']:.1%}"
         )
+    if "mem_order_violations" in unchecked:
+        lines.append(
+            f"  memdep:    violations {unchecked['mem_order_violations']:.0f}  "
+            f"forwarded {unchecked['loads_forwarded']:.0f}  "
+            f"delayed {unchecked['loads_delayed']:.0f}  "
+            f"lsq-stalls {unchecked['lsq_full_stalls']:.0f}"
+        )
+    if "mem_dcache_banks" in unchecked:
+        lines.append(
+            f"  d-banks:   {unchecked['mem_dcache_banks']:.0f} banks  "
+            f"conflicts {unchecked['mem_bank_conflicts']:.0f}"
+        )
     if "checked" in result:
         checked = result["checked"]
         lines.append(
@@ -160,6 +194,12 @@ def format_report(result: dict) -> str:
                 f"  contention: wrong-path slot-waste {checked['wrong_path_slot_rate']:.1%} "
                 f"competes with checker slot-steal {checked['slot_steal_rate']:.1%} "
                 f"(primary {checked['primary_slot_utilization']:.1%})"
+            )
+        if "mem_checker_probes" in checked:
+            lines.append(
+                f"  chk-dcache: probes {checked['mem_checker_probes']:.0f}  "
+                f"port-conflicts {checked['mem_checker_port_conflicts']:.0f}  "
+                f"bank-conflicts {checked['mem_checker_bank_conflicts']:.0f}"
             )
         lines.append(
             f"  faults:    injected {checked['faults_injected']:.0f}  "
@@ -221,6 +261,34 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
             "extra fetch-to-issue pipeline stages (0 = legacy two-stage front "
             "end); deeper front ends widen the branch-resolution window and "
             "so the wrong-path volume per mispredict"
+        ),
+    )
+    parser.add_argument(
+        "--memdep",
+        action="store_true",
+        help=(
+            "enable the memory-dependence subsystem: LSQ, store-set "
+            "prediction, store-to-load forwarding, and ordering-violation "
+            "squash/replay"
+        ),
+    )
+    parser.add_argument(
+        "--dcache-banks",
+        type=int,
+        default=1,
+        help=(
+            "D-cache banks (1 = unbanked legacy model); with more, checker "
+            "loads/stores compete with the primary stream for bank slots"
+        ),
+    )
+    parser.add_argument(
+        "--store-alias-fraction",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help=(
+            "override the profile's store_alias_fraction: probability each "
+            "static store shares an address stream with a later static load"
         ),
     )
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
@@ -307,7 +375,9 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "machine shape to benchmark: table1 (the paper's 128-entry "
             "window), big-core (1024-entry window, deep wrong paths), "
-            "ci-smoke (short big-core run), or all full-length configs"
+            "memdep (memory-bound aliasing workload with store sets and a "
+            "banked D-cache), ci-smoke (short big-core run), or all "
+            "full-length configs"
         ),
     )
     bench_parser.add_argument("--seed", type=int, default=0, help="workload RNG seed")
@@ -352,9 +422,18 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         parser.error(f"--wrong-path-depth must be positive, got {args.wrong_path_depth}")
     if args.frontend_depth < 0:
         parser.error(f"--frontend-depth must be non-negative, got {args.frontend_depth}")
-    base_params = (
-        CoreParams(frontend_depth=args.frontend_depth) if args.frontend_depth else None
-    )
+    if args.dcache_banks <= 0:
+        parser.error(f"--dcache-banks must be positive, got {args.dcache_banks}")
+    if args.store_alias_fraction is not None and not 0.0 <= args.store_alias_fraction <= 1.0:
+        parser.error(
+            f"--store-alias-fraction must be in [0, 1], got {args.store_alias_fraction}"
+        )
+    base_kwargs: dict = {}
+    if args.frontend_depth:
+        base_kwargs["frontend_depth"] = args.frontend_depth
+    if args.memdep:
+        base_kwargs["memdep"] = MemDepParams(enabled=True)
+    base_params = CoreParams(**base_kwargs) if base_kwargs else None
     names = list(PRESET_NAMES) if args.all_presets else [args.preset]
     results = [
         run_experiment(
@@ -367,6 +446,8 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
             wrong_path=not args.no_wrong_path,
             wrong_path_depth=args.wrong_path_depth,
             params=base_params,
+            dcache_banks=args.dcache_banks,
+            store_alias_fraction=args.store_alias_fraction,
         )
         for name in names
     ]

@@ -21,13 +21,19 @@ single-pass:
 
 * Checker loads/stores re-execute address generation on an integer ALU in
   one cycle; the loaded value is bypassed from the load/store queue rather
-  than re-reading the data cache, so the checker never competes for
-  D-cache ports.
+  than re-reading the full data path.  With a single-bank D-cache the
+  checker therefore never competes for D-cache ports; with
+  ``HierarchyParams.dcache_banks > 1`` the core passes a ``dcache_probe``
+  and each checker load/store must win a bank slot against the primary
+  stream before its check can issue (cf. MEEK's narrowed checker
+  datapath), stalling the in-order check pipeline on a conflict.
 * Faults are carried as flags rather than wrong values, so a check
   "compares" by looking at the flag; timing is unaffected by this.
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 from repro.core.dynop import DynOp
 from repro.core.sched import EV_CHECK_DONE, CheckQueue, EventWheel
@@ -46,6 +52,7 @@ class Checker:
         latencies: dict[OpClass, int],
         stats: CoreStats,
         wheel: EventWheel | None = None,
+        dcache_probe: Callable[[int, int], bool] | None = None,
     ):
         self._fu = fu_pool
         self._lat = latencies
@@ -59,6 +66,10 @@ class Checker:
         # Standalone uses (unit tests) may omit the wheel; completion events
         # then accumulate on a private wheel the caller drains itself.
         self._wheel = wheel if wheel is not None else EventWheel()
+        # With D-cache banking modelled, every checker load/store must win
+        # a (port, bank) slot via this probe before its check issues; None
+        # keeps the legacy LSQ-bypass assumption (no D-cache competition).
+        self._dcache_probe = dcache_probe
         self._pending = CheckQueue()
         # Cycle at which each register's *verified* value becomes available.
         # Absent key = value verified long ago (committed state), ready now.
@@ -99,10 +110,7 @@ class Checker:
                 # `fault_at` can legitimately be cycle 0, so a falsy-or
                 # fallback would report zero latency for that fault.
                 fault_at = op.fault_at if op.fault_at is not None else op.check_complete_at
-                latency = op.check_complete_at - fault_at
-                stats.detection_latency_sum += latency
-                stats.detection_latencies.append(latency)
-                stats.detection_latency_max = max(stats.detection_latency_max, latency)
+                stats.record_detection_latency(op.check_complete_at - fault_at)
                 return op
             op.checked = True
             stats.checks_completed += 1
@@ -132,6 +140,9 @@ class Checker:
         lat_by_op = self._check_lat_by_op
         fu_by_op = self._fu_by_op
         unpip_by_op = self._unpip_by_op
+        probe = self._dcache_probe
+        load_cls = OpClass.LOAD
+        store_cls = OpClass.STORE
         while used < slots:
             op = head()
             if op is None:
@@ -148,6 +159,14 @@ class Checker:
             if blocked:
                 break
             op_cls = uop.op
+            if probe is not None and (op_cls is load_cls or op_cls is store_cls):
+                # Win the FU first (available > 0 guarantees the acquire
+                # below succeeds), then the D-cache bank: a probe that wins
+                # a bank slot but loses its FU would waste real bandwidth.
+                if fu.available(fu_by_op[op_cls]) <= 0:
+                    break
+                if not probe(uop.addr, now):
+                    break  # bank/port conflict: in-order pipe stalls here
             complete = now + lat_by_op[op_cls]
             if not fu.try_acquire(
                 fu_by_op[op_cls], complete if unpip_by_op[op_cls] else None

@@ -26,7 +26,16 @@ The machine is trace driven and models the paper's pipeline shape:
   shared issue slots and Table 1 functional units, popping the seq-ordered
   ready queue instead of rescanning the window; loads and stores go
   through the memory hierarchy (ports, MSHRs, bus) and replay on
-  structural refusal; divides block their unpipelined units.
+  structural refusal; divides block their unpipelined units.  With
+  ``CoreParams.memdep`` enabled, a load-store queue tracks in-flight
+  memory ops in program order: a store-set predictor
+  (:mod:`repro.core.storesets`) delays loads behind stores they have
+  conflicted with before, a load whose address matches an older issued
+  store forwards from the store buffer instead of accessing the D-cache,
+  and a load that issued under an older not-yet-issued same-address store
+  is caught when the store's address resolves — an ``EV_MEM_VIOLATION``
+  event squashes the load and everything younger through the same
+  recovery machinery fault detection uses.
 * **check** — with the checker enabled, completed ops are re-executed in
   program order through whatever issue slots and units the primary stream
   left idle this cycle (see :mod:`repro.core.checker`); commit is gated on
@@ -56,12 +65,14 @@ from repro.core.sched import (
     EV_CHECK_DONE,
     EV_DEP_WAKE,
     EV_MEM_FILL,
+    EV_MEM_VIOLATION,
     DeadlockError,
     EventWheel,
     ReadyQueue,
 )
 from repro.core.scheduler import FUPool
 from repro.core.stats import CoreStats
+from repro.core.storesets import StoreSetPredictor
 from repro.isa.instruction import MicroOp, format_microop
 from repro.isa.opcodes import OpClass, UNPIPELINED_OPS, default_latencies, fu_class_for
 from repro.isa.registers import REG_ZERO
@@ -119,7 +130,17 @@ class SuperscalarCore:
         self.checker: Checker | None = None
         self.fault_injector: FaultInjector | None = None
         if cp.enabled:
-            self.checker = Checker(self._fu, self._latencies, self.stats, self._wheel)
+            # With D-cache banking modelled, every checker load/store must
+            # win a (port, bank) slot against the primary stream before its
+            # check can issue; single-bank keeps the legacy LSQ bypass.
+            probe = (
+                self.hierarchy.checker_probe
+                if self.hierarchy.params.dcache_banks > 1
+                else None
+            )
+            self.checker = Checker(
+                self._fu, self._latencies, self.stats, self._wheel, dcache_probe=probe
+            )
             self.fault_injector = FaultInjector(
                 rate=cp.fault_rate, seed=cp.fault_seed, force_seqs=cp.force_fault_seqs
             )
@@ -144,6 +165,18 @@ class SuperscalarCore:
         self._lat_by_op = [self._latencies[op] for op in OpClass]
         self._fu_by_op = [fu_class_for(op) for op in OpClass]
         self._unpip_by_op = [op in UNPIPELINED_OPS for op in OpClass]
+        # --- memory-dependence subsystem (inert when disabled: no LSQ
+        # bookkeeping, no predictor, no extra RNG/stat traffic) ---
+        md = params.memdep
+        self._memdep_on = md.enabled
+        self._lsq: deque[DynOp] = deque()
+        self._lsq_size = md.lsq_size
+        self._fwd_latency = md.forward_latency
+        self._violation_penalty = md.violation_penalty
+        self._storesets = (
+            StoreSetPredictor(md.ssit_size, md.lfst_size) if md.enabled else None
+        )
+        self.stats.memdep_enabled = md.enabled
         self.hierarchy.reset()
         self.hierarchy.attach_wheel(self._wheel)
         if self._owns_predictor:
@@ -279,6 +312,7 @@ class SuperscalarCore:
         checker = self.checker
         if events is not None:
             checks_done: list[DynOp] | None = None
+            violations: list[tuple[DynOp, DynOp]] | None = None
             branch_resolved = False
             ready_push = self._ready.push
             for kind, payload in events:
@@ -293,10 +327,18 @@ class SuperscalarCore:
                         checks_done.append(payload)
                 elif kind == EV_MEM_FILL:
                     self.hierarchy.fills_due()
-                else:  # EV_BRANCH_RESOLVE
+                elif kind == EV_BRANCH_RESOLVE:
                     branch_resolved = True
+                else:  # EV_MEM_VIOLATION
+                    if violations is None:
+                        violations = [payload]
+                    else:
+                        violations.append(payload)
             if branch_resolved:
                 self._squash_wrong_path(now)
+            if violations is not None:
+                for store, load in violations:
+                    self._memdep_violation(store, load, now)
             if checks_done is not None and checker is not None:
                 faulty = checker.process_completions(checks_done, now)
                 if faulty is not None:
@@ -356,6 +398,7 @@ class SuperscalarCore:
         budget = self.params.commit_width
         record = self.params.record_retired
         gate_on_check = self.checker is not None
+        lsq = self._lsq if self._memdep_on else None
         while window and done < budget:
             op = window[0]
             if gate_on_check:
@@ -364,6 +407,8 @@ class SuperscalarCore:
             elif op.complete_at is None or op.complete_at > now:
                 break
             window.popleft()
+            if lsq is not None and lsq and lsq[0] is op:
+                lsq.popleft()
             op.committed_at = now
             dest = op.uop.dest
             if reg_producer.get(dest) is op:
@@ -398,6 +443,8 @@ class SuperscalarCore:
         waiting_branch = self._waiting_branch
         store_cls = OpClass.STORE
         load_cls = OpClass.LOAD
+        memdep_on = self._memdep_on
+        fwd_latency = self._fwd_latency
         while slots:
             op = pop_live()
             if op is None:
@@ -412,23 +459,40 @@ class SuperscalarCore:
                     else:
                         stash.append(op)
                     continue
-                result = access(uop.addr, now, is_store=op_cls is store_cls)
-                if not result.ok:
-                    op.replays += 1
-                    slots -= 1
-                    stats.replay_slots_used += 1
-                    if op.wrong_path:
-                        stats.wrong_path_mem_replays += 1
-                        stats.wrong_path_slots_used += 1
-                    else:
-                        stats.mem_replays += 1
-                    if stash is None:
-                        stash = [op]
-                    else:
-                        stash.append(op)
-                    continue
-                complete = result.ready_at
-                fu.acquire(cls)
+                fwd = None
+                if memdep_on and op_cls is load_cls and not op.wrong_path:
+                    fwd = self._forwarding_store(op)
+                if fwd is not None:
+                    # Store-to-load forwarding: the value comes straight
+                    # from the older store's buffer entry, so the load
+                    # skips the D-cache entirely (no port, no MSHR).
+                    complete = now + fwd_latency
+                    op.fwd_from = fwd
+                    stats.loads_forwarded += 1
+                    fu.acquire(cls)
+                else:
+                    result = access(uop.addr, now, is_store=op_cls is store_cls)
+                    if not result.ok:
+                        op.replays += 1
+                        slots -= 1
+                        stats.replay_slots_used += 1
+                        if op.wrong_path:
+                            stats.wrong_path_mem_replays += 1
+                            stats.wrong_path_slots_used += 1
+                        else:
+                            stats.mem_replays += 1
+                        if stash is None:
+                            stash = [op]
+                        else:
+                            stash.append(op)
+                        continue
+                    complete = result.ready_at
+                    fu.acquire(cls)
+                    if memdep_on and op_cls is store_cls and not op.wrong_path:
+                        # The store's address just resolved: any younger
+                        # load that already read this address from memory
+                        # saw stale data and must replay.
+                        self._scan_order_violation(op, now)
             else:
                 complete = now + lat_by_op[op_cls]
                 if not fu.try_acquire(
@@ -475,6 +539,78 @@ class SuperscalarCore:
                 push(op)
         return slots
 
+    # ------------------------------------------------------ memory dependence
+
+    def _forwarding_store(self, load: DynOp) -> DynOp | None:
+        """Youngest older same-address store that can forward to ``load``.
+
+        Scans the LSQ youngest-first so the first older matching store is
+        the one whose value the load must see.  A matching store that has
+        not issued yet cannot forward (its data does not exist) — the load
+        proceeds to the D-cache and the store's later issue catches the
+        ordering violation.  Wrong-path stores never forward: their values
+        are fiction and they vanish at resolution.
+        """
+        addr = load.uop.addr
+        seq = load.seq
+        store_cls = OpClass.STORE
+        for entry in reversed(self._lsq):
+            if entry.seq >= seq:
+                continue
+            if entry.uop.op is store_cls and not entry.wrong_path and entry.uop.addr == addr:
+                return entry if entry.issued_at is not None else None
+        return None
+
+    def _scan_order_violation(self, store: DynOp, now: int) -> None:
+        """At store issue, catch younger loads that already read its address.
+
+        A younger issued load with the same address violated memory order
+        unless it forwarded from a store *younger* than this one (in which
+        case it saw the closer value, which is correct).  Only the oldest
+        violator matters — squashing from it removes every younger one —
+        and the LSQ is program-ordered, so the scan stops at the first
+        match.  The squash is posted as an EV_MEM_VIOLATION event for the
+        next cycle rather than applied mid-issue: the issue loop is walking
+        the ready queue and must not mutate the window under itself.
+        """
+        addr = store.uop.addr
+        sseq = store.seq
+        load_cls = OpClass.LOAD
+        for entry in self._lsq:
+            if entry.seq <= sseq or entry.wrong_path:
+                continue
+            if entry.uop.op is not load_cls or entry.issued_at is None:
+                continue
+            if entry.uop.addr != addr:
+                continue
+            fwd = entry.fwd_from
+            if fwd is not None and fwd.seq > sseq:
+                continue
+            self._wheel.post(now + 1, EV_MEM_VIOLATION, (store, entry))
+            break
+
+    def _memdep_violation(self, store: DynOp, load: DynOp, now: int) -> None:
+        """Deliver a posted memory-order violation: train, squash, replay.
+
+        Re-validates both ops first — a fault recovery or wrong-path squash
+        delivered earlier this cycle may have already removed them, making
+        the event stale.  The surviving case trains the store-set predictor
+        (so future instances of this load wait for the store) and reuses
+        the recovery squash machinery from the offending load onward; the
+        store itself is older and survives.
+        """
+        if store.squashed or load.squashed or load.committed_at is not None:
+            return
+        self.stats.mem_order_violations += 1
+        self._storesets.train(load.uop.pc, store.uop.pc)
+        self._squash_younger(load.seq - 1, now)
+        if self.checker is not None:
+            self.checker.rebuild_after_squash(self._window)
+        self._fetch_index = load.seq
+        self._waiting_branch = None
+        self._end_wrong_path()
+        self._fetch_stall_until = now + self._violation_penalty
+
     # ----------------------------------------------------------------- fetch
 
     def _fetch(self, now: int) -> None:
@@ -498,10 +634,24 @@ class SuperscalarCore:
         ifetch = self.hierarchy.ifetch
         rename = self._rename
         branch_cls = OpClass.BRANCH
+        memdep_on = self._memdep_on
+        load_cls = OpClass.LOAD
+        store_cls = OpClass.STORE
+        lsq = self._lsq
+        lsq_size = self._lsq_size
         fetched = 0
         try:
             while fetched < budget:
                 uop = trace[index]
+                if (
+                    memdep_on
+                    and (uop.op is load_cls or uop.op is store_cls)
+                    and len(lsq) >= lsq_size
+                ):
+                    # LSQ full: the front end stalls until commit or a
+                    # squash frees a slot (the op stays at trace[index]).
+                    self.stats.lsq_full_stalls += 1
+                    return
                 if model_icache:
                     # Probe once per cache line the group touches, not once
                     # per group: a line-crossing group pays for (and trains
@@ -544,6 +694,11 @@ class SuperscalarCore:
         ifetch = self.hierarchy.ifetch
         rename = self._rename
         wp_iter = self._wp_iter
+        memdep_on = self._memdep_on
+        load_cls = OpClass.LOAD
+        store_cls = OpClass.STORE
+        lsq = self._lsq
+        lsq_size = self._lsq_size
         fetched = 0
         try:
             while fetched < budget:
@@ -553,6 +708,15 @@ class SuperscalarCore:
                     if uop is None:
                         break  # stream exhausted: wait for resolution
                     self._wp_peek = uop
+                if (
+                    memdep_on
+                    and (uop.op is load_cls or uop.op is store_cls)
+                    and len(lsq) >= lsq_size
+                ):
+                    # Wrong-path memory ops need real LSQ slots too; the
+                    # peeked op waits for one (or for resolution).
+                    self.stats.lsq_full_stalls += 1
+                    return
                 if model_icache:
                     line = uop.pc // line_bytes
                     if line != probed_line:
@@ -595,12 +759,31 @@ class SuperscalarCore:
                 for src in srcs
                 if src != REG_ZERO and (producer := reg_producer.get(src)) is not None
             )
+        if self._memdep_on and not wrong_path and uop.op is OpClass.LOAD:
+            # Store-set prediction: a load that has conflicted with an
+            # in-flight store's PC before waits for that store to issue
+            # (riding the ordinary wakeup machinery) instead of racing it
+            # to the D-cache.  An already-issued store needs no delay —
+            # forwarding at issue handles it.
+            pred = self._storesets.predicted_store(uop.pc)
+            if pred is not None and pred.issued_at is None:
+                deps = (*deps, pred)
+                self.stats.loads_delayed += 1
         if wrong_path:
             seq = self._wp_next_seq
             self._wp_next_seq = seq + 1
             op = DynOp(uop, seq, now, deps, wrong_path=True, branch_color=self._wp_branch.seq)
         else:
             op = DynOp(uop, self._fetch_index, now, deps)
+        if self._memdep_on:
+            opc = uop.op
+            if opc is OpClass.LOAD or opc is OpClass.STORE:
+                # Every in-flight memory op (wrong-path included) holds an
+                # LSQ slot from rename to commit or squash; only
+                # correct-path stores are visible to the predictor.
+                self._lsq.append(op)
+                if not wrong_path and opc is OpClass.STORE:
+                    self._storesets.store_fetched(uop.pc, op)
         if uop.op is OpClass.NOP:
             # Nops consume front-end and commit bandwidth only; they never
             # enter the ready or check queues.
@@ -726,6 +909,11 @@ class SuperscalarCore:
             if victim.uop.op in UNPIPELINED_OPS:
                 self._release_victim_fu(victim, now)
         self.stats.wrong_path_squashed += squashed
+        if self._memdep_on:
+            # Wrong-path memory ops occupied real LSQ slots; refund them.
+            lsq = self._lsq
+            while lsq and lsq[-1].squashed:
+                lsq.pop()
         # Restore the pre-episode producer map rather than rescanning the
         # window.  Equivalent to _rebuild_producers(): no correct-path op
         # was renamed during the episode, and commit is in-order, so the
@@ -768,8 +956,25 @@ class SuperscalarCore:
         faulty.checked = True
         self.stats.checks_completed += 1
         self.stats.recoveries += 1
+        self._squash_younger(faulty.seq, now)
+        if self.checker is not None:
+            self.checker.rebuild_after_squash(self._window)
+        self._fetch_index = faulty.seq + 1
+        self._waiting_branch = None
+        self._end_wrong_path()
+        self._fetch_stall_until = now + self.params.checker.recovery_penalty
+
+    def _squash_younger(self, boundary_seq: int, now: int) -> None:
+        """Squash every windowed op with ``seq > boundary_seq``.
+
+        Shared tail of fault recovery and memory-order-violation replay:
+        pops victims off the window, returns any cross-cycle functional-unit
+        reservations they hold, trims them off the LSQ tail, and rebuilds
+        the register-producer map from the survivors.  Kernel-structure
+        entries (ready queue, wakeups, check queue) are dropped lazily.
+        """
         window = self._window
-        while window and window[-1].seq > faulty.seq:
+        while window and window[-1].seq > boundary_seq:
             victim = window.pop()
             victim.squashed = True
             if victim.wrong_path:
@@ -780,13 +985,11 @@ class SuperscalarCore:
                     self.stats.faults_squashed += 1
             if victim.uop.op in UNPIPELINED_OPS:
                 self._release_victim_fu(victim, now)
+        if self._memdep_on:
+            lsq = self._lsq
+            while lsq and lsq[-1].squashed:
+                lsq.pop()
         self._rebuild_producers()
-        if self.checker is not None:
-            self.checker.rebuild_after_squash(window)
-        self._fetch_index = faulty.seq + 1
-        self._waiting_branch = None
-        self._end_wrong_path()
-        self._fetch_stall_until = now + self.params.checker.recovery_penalty
 
     def _rebuild_producers(self) -> None:
         """Recompute the register-producer map from the surviving window."""

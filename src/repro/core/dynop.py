@@ -53,6 +53,11 @@ class DynOp:
     corrected: bool = False
     mispredicted: bool = False
     replays: int = 0
+    #: For a load whose value was forwarded from an older in-flight store's
+    #: buffer entry instead of the D-cache: that store.  Violation scans use
+    #: it to tell "got the right data from a closer store" apart from
+    #: "speculatively read stale memory".
+    fwd_from: "DynOp | None" = None
     # --- scheduling-kernel state (see repro.core.sched) ---
     #: Sources (plus the front-end hold, if any) whose results are still
     #: outstanding.  The op enters the primary ready queue exactly when the

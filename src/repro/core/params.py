@@ -95,6 +95,60 @@ class CheckerParams:
 
 
 @dataclass(slots=True)
+class MemDepParams:
+    """Memory-dependence subsystem configuration (off by default).
+
+    Attributes:
+        enabled: Model load/store ordering: an LSQ tracks in-flight memory
+            ops, a store-set predictor delays predicted-dependent loads,
+            matching-address loads forward from older in-flight stores,
+            and a load that issued under an older same-address store is
+            squashed and replayed when the store's address resolves.
+        ssit_size: Store Set ID Table slots (direct-mapped by PC hash).
+        lfst_size: Last Fetched Store Table slots (one live store per set).
+        lsq_size: Load-store queue capacity; fetch stalls on a full queue.
+        violation_penalty: Fetch-redirect cycles after a memory-order
+            violation squash (same role as the checker's recovery_penalty).
+        forward_latency: Cycles for a load to receive a forwarded store
+            value (store-buffer bypass instead of a D-cache access).
+    """
+
+    enabled: bool = False
+    ssit_size: int = 1024
+    lfst_size: int = 128
+    lsq_size: int = 64
+    violation_penalty: int = 8
+    forward_latency: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("ssit_size", "lfst_size", "lsq_size", "forward_latency"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.violation_penalty < 0:
+            raise ValueError("violation_penalty must be non-negative")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable snapshot."""
+        return {
+            "enabled": self.enabled,
+            "ssit_size": self.ssit_size,
+            "lfst_size": self.lfst_size,
+            "lsq_size": self.lsq_size,
+            "violation_penalty": self.violation_penalty,
+            "forward_latency": self.forward_latency,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MemDepParams":
+        """Inverse of :meth:`to_dict`; rejects unknown keys."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown MemDepParams keys: {sorted(unknown)}")
+        return cls(**dict(data))
+
+
+@dataclass(slots=True)
 class CoreParams:
     """Pipeline-shape parameters (defaults follow Table 1).
 
@@ -129,6 +183,10 @@ class CoreParams:
             instead of honouring trace-supplied ``mispredicted`` flags.
         record_retired: Keep every committed DynOp on ``core.retired`` so
             tests can assert per-op timing (off by default — long runs).
+        memdep: Memory-dependence subsystem (LSQ, store-set predictor,
+            forwarding, order-violation replay) — see :class:`MemDepParams`.
+            Disabled by default: loads then issue as soon as their register
+            sources are ready, the legacy behaviour the goldens pin.
     """
 
     fetch_width: int = 8
@@ -145,6 +203,7 @@ class CoreParams:
     use_real_predictor: bool = False
     record_retired: bool = False
     checker: CheckerParams = field(default_factory=CheckerParams)
+    memdep: MemDepParams = field(default_factory=MemDepParams)
 
     def __post_init__(self) -> None:
         for name in ("fetch_width", "issue_width", "commit_width", "window_size"):
@@ -168,9 +227,10 @@ class CoreParams:
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable snapshot (FU classes by name, checker nested).
 
-        ``frontend_depth`` is emitted only when non-zero: experiment-result
-        rows embed this dict, and older stores must stay byte-identical
-        when re-generated with the default (legacy) front end.
+        ``frontend_depth`` is emitted only when non-zero, and ``memdep``
+        only when enabled: experiment-result rows embed this dict, and
+        older stores must stay byte-identical when re-generated with the
+        default (legacy) configuration.
         """
         data = {
             "fetch_width": self.fetch_width,
@@ -189,6 +249,8 @@ class CoreParams:
         }
         if self.frontend_depth:
             data["frontend_depth"] = self.frontend_depth
+        if self.memdep.enabled:
+            data["memdep"] = self.memdep.to_dict()
         return data
 
     @classmethod
@@ -209,4 +271,6 @@ class CoreParams:
             }
         if "checker" in kwargs and not isinstance(kwargs["checker"], CheckerParams):
             kwargs["checker"] = CheckerParams.from_dict(kwargs["checker"])
+        if "memdep" in kwargs and not isinstance(kwargs["memdep"], MemDepParams):
+            kwargs["memdep"] = MemDepParams.from_dict(kwargs["memdep"])
         return cls(**kwargs)

@@ -55,6 +55,11 @@ EV_CHECK_DONE = 2
 #: A mispredicted branch resolves; payload is None (the core validates the
 #: active wrong-path episode itself — a recovery may have ended it early).
 EV_BRANCH_RESOLVE = 3
+#: A store's address resolved under an already-issued younger same-address
+#: load; payload is the ``(store, load)`` pair.  Delivery re-validates both
+#: ops (either may have been squashed between post and delivery) before
+#: training the store-set predictor and squashing from the load.
+EV_MEM_VIOLATION = 4
 
 
 class DeadlockError(RuntimeError):

@@ -2,7 +2,19 @@
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
+
+#: Cap on stored detection-latency samples.  ``detection_latency_sum`` and
+#: ``max`` stay exact past the cap; the stored list degrades to a uniform
+#: reservoir (Algorithm R) so sweep rows stay bounded on long runs.
+DETECTION_LATENCY_RESERVOIR = 512
+
+
+def _reservoir_rng() -> random.Random:
+    # Fixed seed: the sample kept past the cap is deterministic, keeping
+    # result rows byte-identical across machines and repeat runs.
+    return random.Random(0x5EED)
 
 
 @dataclass(slots=True)
@@ -42,11 +54,32 @@ class CoreStats:
     recoveries: int = 0
     detection_latency_sum: int = 0
     detection_latency_max: int = 0
-    #: Per-detection latencies, in detection order — the raw samples behind
-    #: the sum/max aggregates, kept so reports can show distributions
-    #: (percentiles, histograms) rather than just the mean.
+    #: Per-detection latency samples — the raw values behind the sum/max
+    #: aggregates, kept so reports can show distributions (percentiles,
+    #: histograms) rather than just the mean.  Exact and in detection order
+    #: up to :data:`DETECTION_LATENCY_RESERVOIR` detections; past the cap
+    #: the list becomes a uniform sample (see :meth:`record_detection_latency`).
     detection_latencies: list[int] = field(default_factory=list)
+    # --- memory dependence (populated only when CoreParams.memdep is on;
+    # the gate keeps to_dict() byte-identical for legacy configurations) ---
+    memdep_enabled: bool = False
+    #: Loads that issued before an older same-address store resolved and
+    #: had to be squashed and replayed.
+    mem_order_violations: int = 0
+    #: Loads whose value came from an older in-flight store's buffer entry
+    #: instead of a D-cache access.
+    loads_forwarded: int = 0
+    #: Loads held back at rename because the store-set predictor named a
+    #: still-executing store they likely depend on.
+    loads_delayed: int = 0
+    #: Fetch cycles cut short because the load-store queue was full.
+    lsq_full_stalls: int = 0
     memory: dict[str, float] = field(default_factory=dict)
+    #: RNG backing the detection-latency reservoir (host-side bookkeeping,
+    #: never serialized).
+    _reservoir_rng: random.Random = field(default_factory=_reservoir_rng, repr=False)
+    #: Total detections observed (may exceed ``len(detection_latencies)``).
+    _detections_seen: int = 0
     # --- scheduling-kernel telemetry (host-side measurements, NOT simulated
     # state; deliberately excluded from to_dict() so result rows — and the
     # sweep stores built from them — stay deterministic and byte-identical
@@ -102,6 +135,27 @@ class CoreStats:
             return 0.0
         return self.detection_latency_sum / self.faults_detected
 
+    def record_detection_latency(self, latency: int) -> None:
+        """Account one detection; sum/max exact, stored samples capped.
+
+        The first :data:`DETECTION_LATENCY_RESERVOIR` samples are stored
+        verbatim (in detection order — the common case; golden runs never
+        reach the cap).  Past the cap, Algorithm R replaces a uniformly
+        random stored sample, so the list remains an unbiased sample of
+        all detections without unbounded growth.
+        """
+        self.detection_latency_sum += latency
+        if latency > self.detection_latency_max:
+            self.detection_latency_max = latency
+        self._detections_seen += 1
+        samples = self.detection_latencies
+        if len(samples) < DETECTION_LATENCY_RESERVOIR:
+            samples.append(latency)
+        else:
+            slot = self._reservoir_rng.randrange(self._detections_seen)
+            if slot < DETECTION_LATENCY_RESERVOIR:
+                samples[slot] = latency
+
     @property
     def mispredict_rate(self) -> float:
         """Fraction of committed-path branches that were mispredicted."""
@@ -110,7 +164,22 @@ class CoreStats:
         return self.branch_mispredicts / self.branches
 
     def to_dict(self) -> dict[str, float | list[int]]:
-        """Flatten counters and derived rates for reports (JSON-serializable)."""
+        """Flatten counters and derived rates for reports (JSON-serializable).
+
+        Memory-dependence counters appear only when the subsystem ran:
+        legacy configurations must keep emitting byte-identical dicts (the
+        golden-equivalence suite and stored sweep rows both pin this).
+        """
+        memdep: dict[str, int] = (
+            {
+                "mem_order_violations": self.mem_order_violations,
+                "loads_forwarded": self.loads_forwarded,
+                "loads_delayed": self.loads_delayed,
+                "lsq_full_stalls": self.lsq_full_stalls,
+            }
+            if self.memdep_enabled
+            else {}
+        )
         return {
             "cycles": self.cycles,
             "committed": self.committed,
@@ -139,5 +208,6 @@ class CoreStats:
             "mean_detection_latency": self.mean_detection_latency,
             "max_detection_latency": self.detection_latency_max,
             "detection_latencies": list(self.detection_latencies),
+            **memdep,
             **{f"mem_{key}": value for key, value in self.memory.items()},
         }

@@ -134,6 +134,10 @@ def execute_point(
                 wrong_path=point.wrong_path,
                 wrong_path_depth=point.wrong_path_depth,
                 params=point.core_params(),
+                dcache_banks=point.dcache_banks,
+                store_alias_fraction=(
+                    point.store_alias_fraction if point.store_alias_fraction else None
+                ),
             )
     except PointTimeout:
         row["status"] = "error"

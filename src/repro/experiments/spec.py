@@ -70,6 +70,9 @@ class RunPoint:
     wrong_path_depth: int
     real_predictor: bool
     fu_counts: tuple[tuple[str, int], ...] | None
+    memdep: bool = False
+    dcache_banks: int = 1
+    store_alias_fraction: float = 0.0
 
     def config(self) -> dict[str, Any]:
         """The canonical, JSON-serializable identity of this point.
@@ -79,8 +82,10 @@ class RunPoint:
         exists under the ``reserved`` policy, and ``wrong_path_depth``
         only matters when wrong-path modelling is on.  Without this,
         editing an ignored spec field would invalidate every stored row.
+        The memory-dependence keys appear only at non-default values for
+        the same reason: every pre-existing stored row keeps its hash.
         """
-        return {
+        config = {
             "schema": SCHEMA_VERSION,
             "preset": self.preset,
             "seed": self.seed,
@@ -96,6 +101,13 @@ class RunPoint:
             "real_predictor": self.real_predictor,
             "fu_counts": dict(self.fu_counts) if self.fu_counts is not None else None,
         }
+        if self.memdep:
+            config["memdep"] = True
+        if self.dcache_banks != 1:
+            config["dcache_banks"] = self.dcache_banks
+        if self.store_alias_fraction:
+            config["store_alias_fraction"] = self.store_alias_fraction
+        return config
 
     def config_hash(self) -> str:
         return config_hash(self.config())
@@ -131,6 +143,8 @@ class RunPoint:
         }
         if self.fu_counts is not None:
             data["fu_counts"] = dict(self.fu_counts)
+        if self.memdep:
+            data["memdep"] = {"enabled": True}
         return CoreParams.from_dict(data)
 
     @classmethod
@@ -146,6 +160,11 @@ class RunPoint:
         schema = data.pop("schema", None)
         if schema != SCHEMA_VERSION:
             raise ValueError(f"unsupported config schema {schema!r}")
+        # Memory-dependence keys are emitted only at non-default values
+        # (see config()); stored rows that predate them load unchanged.
+        data.setdefault("memdep", False)
+        data.setdefault("dcache_banks", 1)
+        data.setdefault("store_alias_fraction", 0.0)
         known = {f.name for f in fields(cls)}
         unknown = set(data) - known
         if unknown:
@@ -197,6 +216,12 @@ def _validate_point(point: RunPoint) -> None:
             f"reserved_slots must be in (0, issue_width), got {point.reserved_slots} "
             f"with issue_width {point.issue_width}"
         )
+    if point.dcache_banks <= 0:
+        raise ValueError(f"dcache_banks must be positive, got {point.dcache_banks}")
+    if not 0.0 <= point.store_alias_fraction <= 1.0:
+        raise ValueError(
+            f"store_alias_fraction must be in [0, 1], got {point.store_alias_fraction}"
+        )
 
 
 def _default_fault_rates() -> list[float]:
@@ -221,6 +246,14 @@ def _default_wrong_path_depths() -> list[int]:
 
 def _default_fu_variants() -> list[dict[str, int] | None]:
     return [None]
+
+
+def _default_memdep() -> list[bool]:
+    return [False]
+
+
+def _default_dcache_banks() -> list[int]:
+    return [1]
 
 
 @dataclass(slots=True)
@@ -251,6 +284,13 @@ class SweepSpec:
     wrong_path_depths: list[int] = field(default_factory=_default_wrong_path_depths)
     real_predictor: bool = False
     fu_variants: list[dict[str, int] | None] = field(default_factory=_default_fu_variants)
+    #: Memory-dependence axes: whether the LSQ/store-set subsystem is on,
+    #: and how many D-cache banks the hierarchy models.
+    memdep: list[bool] = field(default_factory=_default_memdep)
+    dcache_banks: list[int] = field(default_factory=_default_dcache_banks)
+    #: Scalar, like ``reserved_slots``: the fraction of static stores the
+    #: workload pairs with later loads on shared address streams.
+    store_alias_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -266,6 +306,8 @@ class SweepSpec:
             "wrong_path",
             "wrong_path_depths",
             "fu_variants",
+            "memdep",
+            "dcache_banks",
         ):
             values = getattr(self, axis)
             if not isinstance(values, (list, tuple)):
@@ -305,6 +347,8 @@ class SweepSpec:
             wrong_path,
             wrong_path_depth,
             fu_variant,
+            memdep,
+            banks,
             seed,
         ) in itertools.product(
             self.presets,
@@ -314,6 +358,8 @@ class SweepSpec:
             self.wrong_path,
             self.wrong_path_depths,
             self.fu_variants,
+            self.memdep,
+            self.dcache_banks,
             self.seeds,
         ):
             point = RunPoint(
@@ -330,6 +376,9 @@ class SweepSpec:
                 fu_counts=(
                     _normalize_fu_variant(fu_variant) if fu_variant is not None else None
                 ),
+                memdep=memdep,
+                dcache_banks=banks,
+                store_alias_fraction=self.store_alias_fraction,
             )
             _validate_point(point)
             out.append(point)

@@ -44,6 +44,13 @@ class HierarchyParams:
         mem_latency: Main-memory access latency (200 cycles).
         line_bytes: Cache line size everywhere (64 bytes).
         dcache_ports: Data-cache ports shared by all loads/stores per cycle.
+        dcache_banks: Line-interleaved L1D banks.  1 (the default) models a
+            fully-ported cache — the legacy behaviour.  With more banks,
+            each bank serves at most ``max(1, dcache_ports // dcache_banks)``
+            accesses per cycle, so same-bank accesses conflict even when
+            ports remain — and checker re-accesses (see
+            ``MemoryHierarchy.checker_probe``) contend with the primary
+            path for the same bank slots.
         mshr_entries / mshr_targets: MSHR file bounds (32 entries, 8 targets).
         bus_cycles_per_transfer: Line occupancy of the memory bus.
     """
@@ -58,6 +65,7 @@ class HierarchyParams:
     mem_latency: int = 200
     line_bytes: int = LINE_BYTES
     dcache_ports: int = 4
+    dcache_banks: int = 1
     mshr_entries: int = 32
     mshr_targets: int = 8
     bus_cycles_per_transfer: int = 4
@@ -73,8 +81,8 @@ class AccessResult:
         ready_at: Cycle the value is available (meaningless when not ok).
         level: Hierarchy level that serviced the access: ``"l1"``, ``"l2"``,
             ``"mem"``, or ``"mshr"`` for a hit on an in-flight miss.
-        reason: Refusal reason when not ok: ``"port"``, ``"mshr"``, or
-            ``"mshr_target"``.
+        reason: Refusal reason when not ok: ``"port"``, ``"bank"``,
+            ``"mshr"``, or ``"mshr_target"``.
     """
 
     ok: bool
@@ -92,6 +100,15 @@ class HierarchyStats:
     accesses: dict[str, int] = field(
         default_factory=lambda: {"l1": 0, "l2": 0, "mem": 0, "mshr": 0}
     )
+    # --- banking (sized by MemoryHierarchy; all-zero when dcache_banks=1) ---
+    #: Primary accesses refused because their bank was saturated this cycle.
+    bank_conflicts: list[int] = field(default_factory=list)
+    #: Checker re-access attempts (see ``MemoryHierarchy.checker_probe``).
+    checker_probes: int = 0
+    #: Checker probes refused at the port level (all ports busy).
+    checker_port_conflicts: int = 0
+    #: Checker probes refused because their bank was saturated this cycle.
+    checker_bank_conflicts: list[int] = field(default_factory=list)
 
 
 class MemoryHierarchy:
@@ -105,12 +122,19 @@ class MemoryHierarchy:
     def __init__(self, params: HierarchyParams | None = None):
         self.params = params or HierarchyParams()
         p = self.params
+        if p.dcache_banks <= 0:
+            raise ValueError(f"dcache_banks must be positive, got {p.dcache_banks}")
+        self._nbanks = p.dcache_banks
+        #: Per-bank per-cycle access capacity under line interleaving.
+        self._bank_ports = max(1, p.dcache_ports // p.dcache_banks)
+        self._bank_cycle = -1
+        self._banks_used = [0] * self._nbanks
         self.l1i = Cache(p.l1i_size, p.l1_ways, p.line_bytes, name="l1i")
         self.l1d = Cache(p.l1d_size, p.l1_ways, p.line_bytes, name="l1d")
         self.l2 = Cache(p.l2_size, p.l2_ways, p.line_bytes, name="l2")
         self.mshrs = MSHRFile(entries=p.mshr_entries, targets_per_entry=p.mshr_targets)
         self.bus = MemoryBus(cycles_per_transfer=p.bus_cycles_per_transfer)
-        self.stats = HierarchyStats()
+        self.stats = self._fresh_stats()
         self._port_cycle = -1
         self._ports_used = 0
         # line -> [ready_at, byte_addr, dirty]; L1D fills are applied only
@@ -152,6 +176,12 @@ class MemoryHierarchy:
             if evicted is not None and evicted.dirty:
                 self._fill_l2(evicted.line_addr * self.l1d.line_bytes, now, dirty=True)
 
+    def _fresh_stats(self) -> HierarchyStats:
+        stats = HierarchyStats()
+        stats.bank_conflicts = [0] * self._nbanks
+        stats.checker_bank_conflicts = [0] * self._nbanks
+        return stats
+
     # ------------------------------------------------------------------ ports
 
     def ports_free(self, now: int) -> int:
@@ -168,6 +198,45 @@ class MemoryHierarchy:
             self.stats.port_conflicts += 1
             return False
         self._ports_used += 1
+        return True
+
+    # ------------------------------------------------------------------ banks
+
+    def _take_bank_slot(self, addr: int, now: int, checker: bool) -> bool:
+        """Claim a per-cycle slot in ``addr``'s (line-interleaved) bank.
+
+        Only called when ``dcache_banks > 1``.  Refusals are counted
+        per-bank, attributed to the checker or the primary path.
+        """
+        if now != self._bank_cycle:
+            self._bank_cycle = now
+            self._banks_used = [0] * self._nbanks
+        bank = (addr // self.params.line_bytes) % self._nbanks
+        if self._banks_used[bank] >= self._bank_ports:
+            if checker:
+                self.stats.checker_bank_conflicts[bank] += 1
+            else:
+                self.stats.bank_conflicts[bank] += 1
+            return False
+        self._banks_used[bank] += 1
+        return True
+
+    def checker_probe(self, addr: int, now: int) -> bool:
+        """One checker re-access attempt at ``addr``; True if it may proceed.
+
+        The core wires this into the :class:`~repro.core.checker.Checker`
+        only when banking is modelled (``dcache_banks > 1``).  A successful
+        probe consumes a real port and bank slot, so checker traffic
+        genuinely contends with the primary path; a refusal stalls the
+        in-order check pipeline for the cycle and is counted per bank.
+        """
+        self.stats.checker_probes += 1
+        if not self._take_port(now):
+            self.stats.checker_port_conflicts += 1
+            return False
+        if not self._take_bank_slot(addr, now, checker=True):
+            self._ports_used -= 1
+            return False
         return True
 
     # ------------------------------------------------------------- data path
@@ -188,6 +257,11 @@ class MemoryHierarchy:
             self._fills_armed = False
         if not self._take_port(now):
             return AccessResult(ok=False, reason="port")
+        if self._nbanks > 1 and not self._take_bank_slot(addr, now, checker=False):
+            # Bank saturated even though a port was free: refund the port
+            # (the access never reached the array) and replay next cycle.
+            self._ports_used -= 1
+            return AccessResult(ok=False, reason="bank")
         if self.l1d.lookup(addr, is_store=is_store):
             self.stats.accesses["l1"] += 1
             return AccessResult(ok=True, ready_at=now + p.l1_latency, level="l1")
@@ -286,15 +360,22 @@ class MemoryHierarchy:
             cache.stats = CacheStats()
         self.mshrs.reset()
         self.bus.reset()
-        self.stats = HierarchyStats()
+        self.stats = self._fresh_stats()
         self._port_cycle = -1
         self._ports_used = 0
+        self._bank_cycle = -1
+        self._banks_used = [0] * self._nbanks
         self._pending_fills.clear()
         self._fills_armed = False
 
     def snapshot(self) -> dict[str, float]:
-        """Flat stats dict for reports."""
-        return {
+        """Flat stats dict for reports.
+
+        Banking keys appear only when ``dcache_banks > 1``: the snapshot is
+        embedded (``mem_``-prefixed) in every result row, and legacy
+        single-bank rows must stay byte-identical.
+        """
+        data: dict[str, float] = {
             "l1d_miss_rate": self.l1d.stats.miss_rate,
             "l1d_accesses": self.l1d.stats.accesses,
             "l2_miss_rate": self.l2.stats.miss_rate,
@@ -306,3 +387,13 @@ class MemoryHierarchy:
             "bus_avg_queue_delay": self.bus.average_queue_delay,
             "ifetch_misses": self.stats.ifetch_misses,
         }
+        if self._nbanks > 1:
+            stats = self.stats
+            data["dcache_banks"] = self._nbanks
+            data["bank_conflicts"] = sum(stats.bank_conflicts)
+            data["bank_conflicts_per_bank"] = list(stats.bank_conflicts)
+            data["checker_probes"] = stats.checker_probes
+            data["checker_port_conflicts"] = stats.checker_port_conflicts
+            data["checker_bank_conflicts"] = sum(stats.checker_bank_conflicts)
+            data["checker_bank_conflicts_per_bank"] = list(stats.checker_bank_conflicts)
+        return data

@@ -42,6 +42,13 @@ class WorkloadProfile:
             this program, so each branch PC recurs roughly
             ``num_ops / loop_ops`` times — what makes the real-predictor
             front end trainable.
+        store_alias_fraction: Probability each static store is paired with
+            a later static load on a shared address stream (a stack slot /
+            spill-refill idiom).  Paired slots emit the *same* address
+            within a loop iteration, so the store and load genuinely alias
+            while both are in flight — the traffic that exercises
+            memory-dependence speculation.  0 (the default) draws no RNG
+            and leaves every address stream exactly as before.
     """
 
     name: str
@@ -54,6 +61,7 @@ class WorkloadProfile:
     cold_fraction: float = 0.02
     hot_lines: int = 512
     loop_ops: int = 1024
+    store_alias_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.mix:
@@ -66,6 +74,7 @@ class WorkloadProfile:
             "taken_rate",
             "outcome_noise",
             "cold_fraction",
+            "store_alias_fraction",
         ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:

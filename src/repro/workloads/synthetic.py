@@ -35,6 +35,17 @@ _HOT_BASE = 0x1000_0000
 _COLD_BASE = 0x8000_0000
 _CODE_BASE = 0x0040_0000
 
+#: Aliased store/load pairs (``store_alias_fraction``) share per-pair
+#: address streams in this region — disjoint from the hot set, the cold
+#: stream, and wrong-path data, so pairing changes which ops *alias*, not
+#: which other lines they contend for.
+_ALIAS_BASE = 0x2000_0000
+#: Lines a pair cycles through (re-touched every window iterations: stays
+#: cache-resident like the stack slots it models).
+_ALIAS_WINDOW = 16
+#: Line distance between consecutive pairs' regions.
+_ALIAS_STRIDE_LINES = 64
+
 #: Periods assigned to static branches.  Outcomes are periodic — a
 #: loop-like branch is taken except on every ``period``-th instance (a
 #: loop back-edge that falls through on exit), a skip-like branch inverts
@@ -57,6 +68,9 @@ class _StaticOp:
     period: int = 0
     loop_like: bool = True
     target: int | None = None
+    #: Alias-pair id shared by one store slot and one later load slot;
+    #: paired slots emit the same address within a loop iteration.
+    alias_pair: int | None = None
 
 
 class TraceGenerator:
@@ -71,6 +85,11 @@ class TraceGenerator:
         self._recent_fp: deque[int] = deque(maxlen=profile.dep_window)
         self._cold_ptr = _COLD_BASE
         self._program = [self._build_static(i) for i in range(profile.loop_ops)]
+        # Gated on the knob, not just called unconditionally: with the
+        # fraction at 0 the pairing pass must draw *zero* RNG values so
+        # legacy (profile, num_ops, seed) traces stay byte-identical.
+        if profile.store_alias_fraction:
+            self._assign_alias_pairs()
         self._index = 0
 
     # -------------------------------------------------------- static program
@@ -118,6 +137,39 @@ class TraceGenerator:
         srcs = (self._pick_src(fp), self._pick_src(fp))
         return _StaticOp(op=op, pc=pc, dest=self._pick_dest(fp), srcs=srcs)
 
+    def _assign_alias_pairs(self) -> None:
+        """Pair static stores with later static loads on shared addresses.
+
+        Models the stack-slot / spill-refill idiom: a store writes a slot
+        and a nearby later load reads it back.  Each store passes an
+        independent ``store_alias_fraction`` draw and then claims a random
+        still-unpaired load *after* it in the program, so within one loop
+        iteration the store is the older op and the load the younger — the
+        shape that exercises forwarding, predictor delays, and
+        memory-order violations.  Stores with no later load available stay
+        unpaired.
+        """
+        rng = self._rng
+        fraction = self.profile.store_alias_fraction
+        program = self._program
+        free_loads = [
+            i for i, s in enumerate(program) if s.op is OpClass.LOAD
+        ]
+        next_pair = 0
+        for index, static in enumerate(program):
+            if static.op is not OpClass.STORE:
+                continue
+            if rng.random() >= fraction:
+                continue
+            while free_loads and free_loads[0] <= index:
+                free_loads.pop(0)
+            if not free_loads:
+                break
+            load_index = free_loads.pop(rng.randrange(len(free_loads)))
+            static.alias_pair = next_pair
+            program[load_index].alias_pair = next_pair
+            next_pair += 1
+
     # ------------------------------------------------------ dynamic instances
 
     def _pick_addr(self) -> int:
@@ -148,12 +200,22 @@ class TraceGenerator:
                 mispredicted=self._rng.random() < self.profile.mispredict_rate,
             )
         if static.op is OpClass.LOAD or static.op is OpClass.STORE:
+            pair = static.alias_pair
+            if pair is None:
+                addr = self._pick_addr()
+            else:
+                # Both halves of the pair compute the same address for the
+                # same iteration (no RNG draw — the pairing replaced it),
+                # stepping through a small resident window of lines.
+                addr = _ALIAS_BASE + _LINE_BYTES * (
+                    pair * _ALIAS_STRIDE_LINES + iteration % _ALIAS_WINDOW
+                )
             return MicroOp(
                 op=static.op,
                 dest=static.dest,
                 srcs=static.srcs,
                 pc=static.pc,
-                addr=self._pick_addr(),
+                addr=addr,
             )
         return MicroOp(op=static.op, dest=static.dest, srcs=static.srcs, pc=static.pc)
 

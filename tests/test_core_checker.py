@@ -69,6 +69,45 @@ def test_detection_latency_is_positive_and_recorded():
     assert stats.detection_latency_max >= stats.mean_detection_latency
 
 
+def test_detection_latency_reservoir_caps_samples_but_keeps_sum_exact():
+    from repro.core.stats import DETECTION_LATENCY_RESERVOIR, CoreStats
+
+    stats = CoreStats()
+    latencies = [3 + (i % 40) for i in range(2_000)]
+    for latency in latencies:
+        stats.record_detection_latency(latency)
+    assert len(stats.detection_latencies) == DETECTION_LATENCY_RESERVOIR
+    assert stats.detection_latency_sum == sum(latencies)  # exact past the cap
+    assert stats.detection_latency_max == max(latencies)
+    # The sample only contains values that were actually recorded.
+    assert set(stats.detection_latencies) <= set(latencies)
+
+
+def test_detection_latency_reservoir_is_deterministic():
+    from repro.core.stats import CoreStats
+
+    def fill() -> list[int]:
+        stats = CoreStats()
+        for i in range(5_000):
+            stats.record_detection_latency(i % 97)
+        return list(stats.detection_latencies)
+
+    # Fixed-seed Algorithm R: two independent runs keep the same sample, so
+    # sweep rows stay byte-identical across machines and repeats.
+    assert fill() == fill()
+
+
+def test_detection_latencies_below_the_cap_are_verbatim_in_order():
+    from repro.core.stats import CoreStats
+
+    stats = CoreStats()
+    for latency in (9, 4, 17):
+        stats.record_detection_latency(latency)
+    assert stats.detection_latencies == [9, 4, 17]
+    assert stats.detection_latency_sum == 30
+    assert stats.detection_latency_max == 17
+
+
 def test_every_live_fault_is_detected_under_random_injection():
     trace = generate(preset("int-heavy"), 2000, seed=11)
     params = CoreParams(

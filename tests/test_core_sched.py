@@ -9,6 +9,7 @@ from repro.core.sched import (
     EV_CHECK_DONE,
     EV_DEP_WAKE,
     EV_MEM_FILL,
+    EV_MEM_VIOLATION,
     CheckQueue,
     DeadlockError,
     EventWheel,
@@ -26,8 +27,8 @@ def op_at(seq: int) -> DynOp:
 
 
 def test_event_kinds_are_distinct_and_hierarchy_mirror_matches():
-    kinds = {EV_DEP_WAKE, EV_MEM_FILL, EV_CHECK_DONE, EV_BRANCH_RESOLVE}
-    assert len(kinds) == 4
+    kinds = {EV_DEP_WAKE, EV_MEM_FILL, EV_CHECK_DONE, EV_BRANCH_RESOLVE, EV_MEM_VIOLATION}
+    assert len(kinds) == 5
     # repro.memory.hierarchy cannot import the constant (package cycle) and
     # carries a literal mirror instead; they must never drift apart.
     assert _EV_MEM_FILL == EV_MEM_FILL

@@ -184,3 +184,72 @@ def test_scalar_axis_values_are_a_clean_error():
         SweepSpec(name="s", presets=["int-heavy"], seeds=3, ops=10)
     with pytest.raises(ValueError, match="must be a list"):
         SweepSpec(name="s", presets=["int-heavy"], seeds=[0], ops=10, wrong_path=False)
+
+
+# ------------------------------------------------------------ memdep knobs
+
+
+def test_default_points_emit_no_memdep_keys_and_legacy_configs_load():
+    point = SweepSpec(name="s", presets=["int-heavy"], seeds=[0], ops=100).points()[0]
+    config = point.config()
+    # Hash stability: configs stored before the memdep axes existed must
+    # keep their hashes, so defaults stay invisible in the config dict...
+    assert "memdep" not in config
+    assert "dcache_banks" not in config
+    assert "store_alias_fraction" not in config
+    # ...and a legacy row (no memdep keys) round-trips to the same config.
+    rebuilt = RunPoint.from_config(config)
+    assert rebuilt.config_hash() == point.config_hash()
+    assert rebuilt.memdep is False
+    assert rebuilt.dcache_banks == 1
+    assert rebuilt.store_alias_fraction == 0.0
+
+
+def test_memdep_point_roundtrips_and_changes_the_hash():
+    def point(**overrides):
+        base = dict(name="s", presets=["memory-bound"], seeds=[0], ops=100)
+        base.update(overrides)
+        return SweepSpec(**base).points()[0]
+
+    base = point()
+    memdep = point(memdep=[True], dcache_banks=[4], store_alias_fraction=0.3)
+    assert memdep.config()["memdep"] is True
+    assert memdep.config()["dcache_banks"] == 4
+    assert memdep.config()["store_alias_fraction"] == 0.3
+    assert memdep.config_hash() != base.config_hash()
+    rebuilt = RunPoint.from_config(memdep.config())
+    assert rebuilt.config_hash() == memdep.config_hash()
+    assert (rebuilt.memdep, rebuilt.dcache_banks, rebuilt.store_alias_fraction) == (
+        True,
+        4,
+        0.3,
+    )
+    assert rebuilt.core_params().memdep.enabled is True
+
+
+def test_memdep_axis_expands_the_grid():
+    spec = SweepSpec(
+        name="s",
+        presets=["memory-bound"],
+        seeds=[0, 1],
+        ops=100,
+        memdep=[False, True],
+        dcache_banks=[1, 4],
+    )
+    points = spec.points()
+    assert len(points) == 8  # 2 memdep x 2 banks x 2 seeds
+    assert len({p.config_hash() for p in points}) == 8
+
+
+@pytest.mark.parametrize(
+    "overrides, message",
+    [
+        ({"dcache_banks": [0]}, "dcache_banks"),
+        ({"store_alias_fraction": 1.5}, "store_alias_fraction"),
+    ],
+)
+def test_memdep_knob_validation(overrides, message):
+    base = dict(name="bad", presets=["memory-bound"], seeds=[0], ops=10)
+    base.update(overrides)
+    with pytest.raises(ValueError, match=message):
+        SweepSpec(**base).points()

@@ -115,3 +115,86 @@ def test_profile_validation():
 def test_generate_rejects_negative_count():
     with pytest.raises(ValueError):
         generate(preset("int-heavy"), -1)
+
+
+# ----------------------------------------------------------- store aliasing
+
+
+def test_store_alias_fraction_validates_range():
+    with pytest.raises(ValueError):
+        WorkloadProfile(
+            name="bad", mix={OpClass.IALU: 1.0}, store_alias_fraction=1.5
+        )
+    with pytest.raises(ValueError):
+        WorkloadProfile(
+            name="bad", mix={OpClass.IALU: 1.0}, store_alias_fraction=-0.1
+        )
+
+
+def test_zero_alias_fraction_leaves_legacy_traces_byte_identical():
+    from dataclasses import replace
+
+    base = preset("memory-bound")
+    assert base.store_alias_fraction == 0.0  # off by default
+    explicit = replace(base, store_alias_fraction=0.0)
+    assert generate(base, 2_000, seed=5) == generate(explicit, 2_000, seed=5)
+
+
+def test_alias_pairs_are_store_older_load_younger_with_shared_addresses():
+    from dataclasses import replace
+
+    from repro.workloads.synthetic import TraceGenerator
+
+    profile = replace(preset("memory-bound"), store_alias_fraction=0.5)
+    generator = TraceGenerator(profile, seed=3)
+    pairs: dict[int, list[int]] = {}
+    for index, static in enumerate(generator._program):
+        if static.alias_pair is not None:
+            pairs.setdefault(static.alias_pair, []).append(index)
+    assert pairs, "fraction 0.5 on memory-bound must pair at least one store"
+    for members in pairs.values():
+        store_idx, load_idx = members
+        assert generator._program[store_idx].op is OpClass.STORE
+        assert generator._program[load_idx].op is OpClass.LOAD
+        # Program order within an iteration: store older, load younger —
+        # the RAW shape that exercises forwarding and violations.
+        assert store_idx < load_idx
+    # Within a loop iteration the two halves emit the same address; across
+    # iterations the address advances through the pair's line window.
+    loop = len(generator._program)
+    trace = generate(profile, loop * 3, seed=3)
+    for iteration in range(3):
+        for pair, (store_idx, load_idx) in pairs.items():
+            store_uop = trace[iteration * loop + store_idx]
+            load_uop = trace[iteration * loop + load_idx]
+            assert store_uop.addr == load_uop.addr
+
+
+def test_aliased_addresses_live_outside_hot_and_cold_regions():
+    from dataclasses import replace
+
+    from repro.workloads.synthetic import (
+        _ALIAS_BASE,
+        _COLD_BASE,
+        _HOT_BASE,
+        TraceGenerator,
+    )
+
+    profile = replace(preset("memory-bound"), store_alias_fraction=1.0)
+    generator = TraceGenerator(profile, seed=0)
+    paired = {
+        s.alias_pair for s in generator._program if s.alias_pair is not None
+    }
+    trace = generate(profile, 4_000, seed=0)
+    alias_addrs = [
+        uop.addr
+        for uop, static in zip(
+            trace,
+            (generator._program[i % len(generator._program)] for i in range(4_000)),
+        )
+        if static.alias_pair is not None
+    ]
+    assert paired and alias_addrs
+    for addr in alias_addrs:
+        assert _ALIAS_BASE <= addr < _COLD_BASE
+        assert not (addr >= _COLD_BASE or _HOT_BASE <= addr < _ALIAS_BASE)
