@@ -34,7 +34,7 @@ from typing import Any
 from dataclasses import replace
 
 from repro.core.core import SuperscalarCore
-from repro.core.params import CheckerParams, CoreParams, MemDepParams
+from repro.core.params import CheckerParams, CoreParams, MemDepParams, RecoveryParams
 from repro.memory.hierarchy import HierarchyParams, MemoryHierarchy
 from repro.workloads import PRESETS, WrongPathGenerator, generate
 
@@ -52,9 +52,12 @@ HEADLINE_CONFIG = "big-core"
 #: whose simulation cost motivated the kernel; ``memdep`` runs the paper's
 #: machine on an aliasing memory-bound workload with the full
 #: memory-dependence subsystem (LSQ, store sets, forwarding, violations)
-#: and a banked D-cache — the timing cost of those paths; ``ci-smoke`` is
+#: and a banked D-cache — the timing cost of those paths; ``checkpoint``
+#: is the paper's machine with verified-state checkpointing on, timing the
+#: checkpoint/rollback paths in the recovery subsystem; ``ci-smoke`` is
 #: a short big-core run for CI.  Entries default to the branchy preset, no
-#: memdep, one bank, and zero alias fraction when the keys are absent.
+#: memdep, one bank, zero alias fraction, and no checkpointing when the
+#: keys are absent.
 BENCH_CONFIGS: dict[str, dict[str, Any]] = {
     "table1": {"ops": 100_000, "window_size": 128, "wrong_path_depth": 64},
     "big-core": {"ops": 100_000, "window_size": 1024, "wrong_path_depth": 512},
@@ -66,6 +69,13 @@ BENCH_CONFIGS: dict[str, dict[str, Any]] = {
         "memdep": True,
         "dcache_banks": 4,
         "store_alias_fraction": 0.25,
+    },
+    "checkpoint": {
+        "ops": 60_000,
+        "window_size": 128,
+        "wrong_path_depth": 64,
+        "checkpoint_interval": 64,
+        "checkpoint_overhead": 1,
     },
     "ci-smoke": {"ops": 20_000, "window_size": 1024, "wrong_path_depth": 512},
 }
@@ -130,6 +140,7 @@ def run_bench(
             profile = replace(profile, store_alias_fraction=alias_fraction)
         memdep_on = bool(shape.get("memdep", False))
         banks = shape.get("dcache_banks", 1)
+        ckpt_interval = shape.get("checkpoint_interval", 0)
         trace = generate(profile, ops, seed=seed)
         wp_source = WrongPathGenerator(profile, seed=seed).iter_stream
         ref_entry = ref_configs.get(name)
@@ -148,6 +159,10 @@ def run_bench(
                 wrong_path_depth=shape["wrong_path_depth"],
                 checker=checker,
                 memdep=MemDepParams(enabled=memdep_on),
+                recovery=RecoveryParams(
+                    checkpoint_interval=ckpt_interval,
+                    checkpoint_overhead=shape.get("checkpoint_overhead", 1),
+                ),
             )
             hierarchy = (
                 MemoryHierarchy(HierarchyParams(dcache_banks=banks))
@@ -176,6 +191,14 @@ def run_bench(
                 mode_report["mem_order_violations"] = stats.mem_order_violations
                 mode_report["loads_forwarded"] = stats.loads_forwarded
                 mode_report["loads_delayed"] = stats.loads_delayed
+            if ckpt_interval:
+                mode_report["checkpoints_taken"] = stats.checkpoints_taken
+                mode_report["checkpoint_overhead_cycles"] = stats.checkpoint_overhead_cycles
+                if mode == "checked":
+                    mode_report["recovery_stall_cycles"] = stats.recovery_stall_cycles
+                    mode_report["mean_rollback_distance"] = round(
+                        stats.mean_rollback_distance, 3
+                    )
             if ref_entry is not None:
                 ref_mode = ref_entry[mode]
                 mode_report["baseline_wall_s"] = ref_mode["wall_s"]
@@ -209,6 +232,11 @@ def format_bench(report: dict[str, Any]) -> str:
             detail += f" preset={entry['preset']}"
         if entry.get("memdep"):
             detail += f" memdep banks={entry.get('dcache_banks', 1)}"
+        if entry.get("checkpoint_interval"):
+            detail += (
+                f" ckpt={entry['checkpoint_interval']}"
+                f"/+{entry.get('checkpoint_overhead', 1)}cyc"
+            )
         lines.append(detail)
         for mode in ("unchecked", "checked"):
             mode_report = entry[mode]

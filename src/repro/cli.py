@@ -32,7 +32,7 @@ import sys
 from dataclasses import replace
 from typing import Sequence
 
-from repro.core.params import CheckerParams, CoreParams, MemDepParams
+from repro.core.params import CheckerParams, CoreParams, MemDepParams, RecoveryParams
 from repro.core.core import SuperscalarCore
 from repro.memory.hierarchy import HierarchyParams, MemoryHierarchy
 from repro.workloads import PRESET_NAMES, PRESETS, WorkloadProfile, WrongPathGenerator, generate
@@ -209,6 +209,14 @@ def format_report(result: dict) -> str:
             f"det-latency mean {checked['mean_detection_latency']:.1f} "
             f"max {checked['max_detection_latency']:.0f}"
         )
+        if "checkpoints_taken" in checked:
+            lines.append(
+                f"  checkpoint: taken {checked['checkpoints_taken']:.0f}  "
+                f"overhead {checked['checkpoint_overhead_cycles']:.0f} cyc  "
+                f"recovery-stall mean {checked['mean_recovery_stall']:.1f} cyc  "
+                f"rollback mean {checked['mean_rollback_distance']:.1f} "
+                f"max {checked['max_rollback_distance']:.0f} ops"
+            )
         slowdown = result["slowdown"]
         lines.append(
             f"  slowdown:  {slowdown:.3f}x" if slowdown is not None else "  slowdown:  n/a"
@@ -290,6 +298,34 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
             "override the profile's store_alias_fraction: probability each "
             "static store shares an address stream with a later static load"
         ),
+    )
+    parser.add_argument(
+        "--ssit-decay-cycles",
+        type=int,
+        default=0,
+        metavar="CYCLES",
+        help=(
+            "clear the store-set predictor's tables once per this many "
+            "cycles (0 = never, the legacy behavior); requires --memdep"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=0,
+        metavar="COMMITS",
+        help=(
+            "take a verified-state checkpoint every COMMITS commits; fault "
+            "recovery then rolls back to the nearest checkpoint instead of "
+            "paying the flat recovery penalty (0 = legacy flat-penalty mode)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-overhead",
+        type=int,
+        default=1,
+        metavar="CYCLES",
+        help="fetch-stall cycles charged per checkpoint creation",
     )
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
@@ -376,7 +412,8 @@ def build_parser() -> argparse.ArgumentParser:
             "machine shape to benchmark: table1 (the paper's 128-entry "
             "window), big-core (1024-entry window, deep wrong paths), "
             "memdep (memory-bound aliasing workload with store sets and a "
-            "banked D-cache), ci-smoke (short big-core run), or all "
+            "banked D-cache), checkpoint (table1 shape with verified-state "
+            "checkpointing on), ci-smoke (short big-core run), or all "
             "full-length configs"
         ),
     )
@@ -428,11 +465,32 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         parser.error(
             f"--store-alias-fraction must be in [0, 1], got {args.store_alias_fraction}"
         )
+    if args.ssit_decay_cycles < 0:
+        parser.error(
+            f"--ssit-decay-cycles must be non-negative, got {args.ssit_decay_cycles}"
+        )
+    if args.ssit_decay_cycles and not args.memdep:
+        parser.error("--ssit-decay-cycles requires --memdep")
+    if args.checkpoint_interval < 0:
+        parser.error(
+            f"--checkpoint-interval must be non-negative, got {args.checkpoint_interval}"
+        )
+    if args.checkpoint_overhead < 0:
+        parser.error(
+            f"--checkpoint-overhead must be non-negative, got {args.checkpoint_overhead}"
+        )
     base_kwargs: dict = {}
     if args.frontend_depth:
         base_kwargs["frontend_depth"] = args.frontend_depth
     if args.memdep:
-        base_kwargs["memdep"] = MemDepParams(enabled=True)
+        base_kwargs["memdep"] = MemDepParams(
+            enabled=True, ssit_decay_cycles=args.ssit_decay_cycles
+        )
+    if args.checkpoint_interval:
+        base_kwargs["recovery"] = RecoveryParams(
+            checkpoint_interval=args.checkpoint_interval,
+            checkpoint_overhead=args.checkpoint_overhead,
+        )
     base_params = CoreParams(**base_kwargs) if base_kwargs else None
     names = list(PRESET_NAMES) if args.all_presets else [args.preset]
     results = [

@@ -41,12 +41,24 @@ The machine is trace driven and models the paper's pipeline shape:
   left idle this cycle (see :mod:`repro.core.checker`); commit is gated on
   verification, and a detected fault squashes all younger ops and replays
   them from the verified state.
-* **commit** — in-order, up to ``commit_width`` per cycle.
+* **commit** — in-order, up to ``commit_width`` per cycle.  With
+  ``CoreParams.recovery.checkpoint_interval`` set, commit also takes
+  periodic verified-state checkpoints that fault recovery rolls back to.
+
+All squash paths — branch-mispredict redirect, checker fault recovery,
+memory-order-violation replay, wrong-path cleanup — are owned by one
+:class:`~repro.core.recovery.RecoveryManager`; the core's pipeline stages
+make thin calls into it.
 
 All timed wakeups — functional-unit completion, deferred memory fills,
 branch resolution, checker retirement — flow through one cycle-indexed
 :class:`~repro.core.sched.EventWheel` drained at the top of every step, so
-per-cycle cost scales with events and issues, not window occupancy.
+per-cycle cost scales with events and issues, not window occupancy.  With
+``CoreParams.cycle_skip`` (the default), the run loop additionally jumps
+``now`` over provably idle stretches — ready queue empty, fetch stalled,
+every pending wakeup in the future — landing exactly on the next cycle
+where anything can happen, so the simulated schedule (and every statistic)
+is identical to ticking cycle by cycle.
 """
 
 from __future__ import annotations
@@ -60,6 +72,7 @@ from repro.core.checker import Checker
 from repro.core.dynop import DynOp
 from repro.core.faults import FaultInjector
 from repro.core.params import CoreParams
+from repro.core.recovery import RecoveryManager
 from repro.core.sched import (
     EV_BRANCH_RESOLVE,
     EV_CHECK_DONE,
@@ -174,9 +187,18 @@ class SuperscalarCore:
         self._fwd_latency = md.forward_latency
         self._violation_penalty = md.violation_penalty
         self._storesets = (
-            StoreSetPredictor(md.ssit_size, md.lfst_size) if md.enabled else None
+            StoreSetPredictor(md.ssit_size, md.lfst_size, md.ssit_decay_cycles)
+            if md.enabled
+            else None
         )
         self.stats.memdep_enabled = md.enabled
+        self.stats.ssit_decay_enabled = md.enabled and md.ssit_decay_cycles > 0
+        # --- recovery subsystem: one manager owns every squash path and
+        # the (optional) verified-state checkpointing policy ---
+        self._recovery = RecoveryManager(self)
+        self._ckpt_on = self._recovery.checkpointing
+        self.stats.checkpointing_enabled = self._ckpt_on
+        self._skip_enabled = params.cycle_skip
         self.hierarchy.reset()
         self.hierarchy.attach_wheel(self._wheel)
         if self._owns_predictor:
@@ -213,6 +235,9 @@ class SuperscalarCore:
         # Wrong-path seqs start past the trace so they always read as
         # "younger than any real op" to the squash machinery.
         self._wp_next_seq = len(self._trace)
+        # run() overwrites this with the real bound before the cycle loop;
+        # the default covers direct _step()-driven unit tests.
+        self._cycle_limit = 10_000 + 400 * len(self._trace)
         self._now = 0
 
     # ------------------------------------------------------------------- run
@@ -229,17 +254,29 @@ class SuperscalarCore:
         self._trace = trace  # before the reset: wrong-path seqs start past it
         self._reset_run_state()
         limit = max_cycles if max_cycles is not None else 10_000 + 400 * len(trace)
+        # Cycle skipping must not leap past the deadlock guard: a stuck run
+        # still stops (and reports its state) at limit + 1, as if ticking.
+        self._cycle_limit = limit
         started = time.perf_counter()
         step = self._step
         trace_len = len(trace)
         window = self._window
+        skip = self._skip_enabled
+        ready_heap = self._ready_heap
+        maybe_skip = self._maybe_skip
         while self._fetch_index < trace_len or window:
             if self._now > limit:
                 raise DeadlockError(self._deadlock_report(limit))
             step()
+            # Cycle skipping: with nothing ready to issue, jump straight to
+            # the next cycle where anything can happen (see _maybe_skip).
+            if skip and not ready_heap:
+                maybe_skip()
         self.stats.cycles = self._now
         if self.fault_injector is not None:
             self.stats.faults_injected = self.fault_injector.injected
+        if self._storesets is not None:
+            self.stats.ssit_decays = self._storesets.decays
         self.stats.wall_seconds = time.perf_counter() - started
         self.stats.sched_events = self._wheel.posted
         self.stats.memory = self.hierarchy.snapshot()
@@ -299,6 +336,95 @@ class SuperscalarCore:
         )
         return "\n".join(lines)
 
+    def _maybe_skip(self) -> None:
+        """Jump ``self._now`` over cycles in which nothing can happen.
+
+        Called by the run loop after a step, only when the primary ready
+        queue is empty (anything issueable — including ops stashed on a
+        structural hazard — keeps the heap non-empty and vetoes skipping).
+        The next cycle where *any* stage can make progress is bounded by:
+
+        * the event wheel's next pending wakeup (producer completions,
+          memory fills, branch resolution, check retirements, violation
+          deliveries all live there);
+        * the window head's completion (unchecked mode's commit gate);
+        * the check-queue head's wake-up — its primary completion and its
+          verified source operands, whose ready cycles the in-order
+          checker fixed when the older checks issued;
+        * the end of the active fetch stall (redirect, I-cache miss, or
+          the wrong-path stream's own I-cache stall).
+
+        If any of those is due now (or a commit / checker head is already
+        eligible, where structural availability cannot be predicted
+        cheaply), the loop ticks normally.  Otherwise ``now`` jumps to the
+        earliest bound — by construction a cycle-for-cycle no-op for the
+        schedule, so every statistic is identical with skipping on or off
+        (pinned by the cycle-skip identity tests and the goldens).
+        """
+        now = self._now
+        window = self._window
+        if not window and self._fetch_index >= self._trace_len:
+            # Run complete: the loop is about to exit, and a last jump to a
+            # stale wheel event (a squashed op's wake, a late fill) would
+            # inflate the recorded cycle count past the final commit.
+            return
+        target = self._wheel.next_cycle()
+        checker = self.checker
+        if window:
+            head = window[0]
+            if checker is not None:
+                if head.checked:
+                    return  # commit drains this cycle
+            else:
+                complete_at = head.complete_at
+                if complete_at is not None:
+                    if complete_at <= now:
+                        return  # commit drains this cycle
+                    if target is None or complete_at < target:
+                        target = complete_at
+        if checker is not None:
+            pending = self._check_deque
+            if pending:
+                head = pending[0]
+                if head.squashed:
+                    return  # let the issue path drop the stale head
+                complete_at = head.complete_at
+                if complete_at is not None:
+                    wake = complete_at
+                    reg_ready_get = checker._reg_ready.get
+                    for src in head.uop.srcs:
+                        if src != REG_ZERO:
+                            ready = reg_ready_get(src, 0)
+                            if ready > wake:
+                                wake = ready
+                    if wake <= now:
+                        return  # head may check (or is blocked structurally)
+                    if target is None or wake < target:
+                        target = wake
+        if self._wp_branch is not None:
+            stall = self._wp_icache_stall_until
+            if stall <= now:
+                return  # wrong-path fetch may run this cycle
+            if target is None or stall < target:
+                target = stall
+        elif self._waiting_branch is None and self._fetch_index < self._trace_len:
+            stall = self._fetch_stall_until
+            icache = self._icache_stall_until
+            if icache > stall:
+                stall = icache
+            if stall <= now:
+                return  # correct-path fetch may run this cycle
+            if target is None or stall < target:
+                target = stall
+        if target is not None and target > now:
+            bound = self._cycle_limit + 1
+            if target > bound:
+                target = bound
+                if target <= now:
+                    return
+            self.stats.cycles_skipped += target - now
+            self._now = target
+
     # ------------------------------------------------------------ cycle step
 
     def _step(self) -> None:
@@ -335,14 +461,14 @@ class SuperscalarCore:
                     else:
                         violations.append(payload)
             if branch_resolved:
-                self._squash_wrong_path(now)
+                self._recovery.squash_wrong_path(now)
             if violations is not None:
                 for store, load in violations:
-                    self._memdep_violation(store, load, now)
+                    self._recovery.recover_mem_violation(store, load, now)
             if checks_done is not None and checker is not None:
                 faulty = checker.process_completions(checks_done, now)
                 if faulty is not None:
-                    self._recover(faulty, now)
+                    self._recovery.recover_fault(faulty, now)
         # In-order commit: gate on the head so quiet cycles cost one check.
         window = self._window
         if window:
@@ -417,6 +543,8 @@ class SuperscalarCore:
                 self.retired.append(op)
             done += 1
         self.stats.committed += done
+        if done and self._ckpt_on:
+            self._recovery.note_commit(self.stats.committed, now)
 
     # ----------------------------------------------------------------- issue
 
@@ -528,11 +656,8 @@ class SuperscalarCore:
             if op is waiting_branch:
                 # Resolution time is now known: fetch restarts after redirect
                 # and any wrong-path work is squashed at resolution.
-                self._fetch_stall_until = complete + self.params.mispredict_penalty
                 self._waiting_branch = waiting_branch = None
-                if self._wp_branch is not None:
-                    self._wp_resolve_at = complete
-                    wheel_post(complete, EV_BRANCH_RESOLVE, None)
+                self._recovery.schedule_branch_redirect(complete)
         if stash is not None:
             push = self._ready.push
             for op in stash:
@@ -588,28 +713,6 @@ class SuperscalarCore:
                 continue
             self._wheel.post(now + 1, EV_MEM_VIOLATION, (store, entry))
             break
-
-    def _memdep_violation(self, store: DynOp, load: DynOp, now: int) -> None:
-        """Deliver a posted memory-order violation: train, squash, replay.
-
-        Re-validates both ops first — a fault recovery or wrong-path squash
-        delivered earlier this cycle may have already removed them, making
-        the event stale.  The surviving case trains the store-set predictor
-        (so future instances of this load wait for the store) and reuses
-        the recovery squash machinery from the offending load onward; the
-        store itself is older and survives.
-        """
-        if store.squashed or load.squashed or load.committed_at is not None:
-            return
-        self.stats.mem_order_violations += 1
-        self._storesets.train(load.uop.pc, store.uop.pc)
-        self._squash_younger(load.seq - 1, now)
-        if self.checker is not None:
-            self.checker.rebuild_after_squash(self._window)
-        self._fetch_index = load.seq
-        self._waiting_branch = None
-        self._end_wrong_path()
-        self._fetch_stall_until = now + self._violation_penalty
 
     # ----------------------------------------------------------------- fetch
 
@@ -765,7 +868,7 @@ class SuperscalarCore:
             # (riding the ordinary wakeup machinery) instead of racing it
             # to the D-cache.  An already-issued store needs no delay —
             # forwarding at issue handles it.
-            pred = self._storesets.predicted_store(uop.pc)
+            pred = self._storesets.predicted_store(uop.pc, now)
             if pred is not None and pred.issued_at is None:
                 deps = (*deps, pred)
                 self.stats.loads_delayed += 1
@@ -783,7 +886,7 @@ class SuperscalarCore:
                 # correct-path stores are visible to the predictor.
                 self._lsq.append(op)
                 if not wrong_path and opc is OpClass.STORE:
-                    self._storesets.store_fetched(uop.pc, op)
+                    self._storesets.store_fetched(uop.pc, op, now)
         if uop.op is OpClass.NOP:
             # Nops consume front-end and commit bandwidth only; they never
             # enter the ready or check queues.
@@ -875,147 +978,13 @@ class SuperscalarCore:
             return True
         return False
 
-    # ------------------------------------------------------------ wrong path
-
-    def _squash_wrong_path(self, now: int) -> None:
-        """Throw away the wrong-path work once its branch has resolved.
-
-        Reached via the branch's EV_BRANCH_RESOLVE wheel event.  The guard
-        re-validates the episode: a recovery squash may have ended it (and
-        possibly started a successor) between the event being posted and
-        delivered, in which case the stale event is a no-op.
-
-        Wrong-path ops are always the youngest ops in the window (no
-        correct-path fetch happens during an episode), so popping the
-        wrong-path tail removes exactly this episode's colour.
-        """
-        if (
-            self._wp_branch is None
-            or self._wp_resolve_at is None
-            or now < self._wp_resolve_at
-        ):
-            return
-        color = self._wp_branch.seq
-        window = self._window
-        squashed = 0
-        while (
-            window
-            and window[-1].wrong_path
-            and window[-1].branch_color == color
-        ):
-            victim = window.pop()
-            victim.squashed = True
-            squashed += 1
-            if victim.uop.op in UNPIPELINED_OPS:
-                self._release_victim_fu(victim, now)
-        self.stats.wrong_path_squashed += squashed
-        if self._memdep_on:
-            # Wrong-path memory ops occupied real LSQ slots; refund them.
-            lsq = self._lsq
-            while lsq and lsq[-1].squashed:
-                lsq.pop()
-        # Restore the pre-episode producer map rather than rescanning the
-        # window.  Equivalent to _rebuild_producers(): no correct-path op
-        # was renamed during the episode, and commit is in-order, so the
-        # surviving last-writer of a register is exactly the snapshot entry
-        # unless that op has since committed (in which case every older
-        # writer has committed too and the register maps to retired state).
-        self._reg_producer = {
-            reg: op
-            for reg, op in self._wp_saved_producers.items()
-            if op.committed_at is None
-        }
-        self._end_wrong_path()
-
-    def _end_wrong_path(self) -> None:
-        self._wp_branch = None
-        self._wp_iter = None
-        self._wp_peek = None
-        self._wp_resolve_at = None
-        self._wp_icache_stall_until = 0
-        self._wp_saved_producers = {}
-
     # -------------------------------------------------------------- recovery
 
     def _recover(self, faulty: DynOp, now: int) -> None:
-        """Squash-and-replay from the verified state after a detection.
+        """Fault-recovery entry point; delegates to the recovery subsystem.
 
-        The checker's re-execution of ``faulty`` produced the correct
-        result (its operands were verified), so the op itself commits as
-        corrected; everything younger consumed — or may have consumed — the
-        corrupt value and is squashed and re-fetched.  Wrong-path ops are
-        always younger than any checkable op, so an active episode is
-        swept away with the rest (and restarted when its branch is
-        re-fetched and re-mispredicted).  Ready-queue entries, pending
-        wakeups, and check-queue entries of the victims are dropped lazily
-        by the kernel structures (the re-fetched instances are fresh
-        records).
+        See :meth:`~repro.core.recovery.RecoveryManager.recover_fault` for
+        the squash-and-replay semantics and the checkpoint-rollback stall
+        model.
         """
-        faulty.faulty = False
-        faulty.corrected = True
-        faulty.checked = True
-        self.stats.checks_completed += 1
-        self.stats.recoveries += 1
-        self._squash_younger(faulty.seq, now)
-        if self.checker is not None:
-            self.checker.rebuild_after_squash(self._window)
-        self._fetch_index = faulty.seq + 1
-        self._waiting_branch = None
-        self._end_wrong_path()
-        self._fetch_stall_until = now + self.params.checker.recovery_penalty
-
-    def _squash_younger(self, boundary_seq: int, now: int) -> None:
-        """Squash every windowed op with ``seq > boundary_seq``.
-
-        Shared tail of fault recovery and memory-order-violation replay:
-        pops victims off the window, returns any cross-cycle functional-unit
-        reservations they hold, trims them off the LSQ tail, and rebuilds
-        the register-producer map from the survivors.  Kernel-structure
-        entries (ready queue, wakeups, check queue) are dropped lazily.
-        """
-        window = self._window
-        while window and window[-1].seq > boundary_seq:
-            victim = window.pop()
-            victim.squashed = True
-            if victim.wrong_path:
-                self.stats.wrong_path_squashed += 1
-            else:
-                self.stats.squashed += 1
-                if victim.faulty:
-                    self.stats.faults_squashed += 1
-            if victim.uop.op in UNPIPELINED_OPS:
-                self._release_victim_fu(victim, now)
-        if self._memdep_on:
-            lsq = self._lsq
-            while lsq and lsq[-1].squashed:
-                lsq.pop()
-        self._rebuild_producers()
-
-    def _rebuild_producers(self) -> None:
-        """Recompute the register-producer map from the surviving window."""
-        reg_producer = self._reg_producer
-        reg_producer.clear()
-        for op in self._window:
-            dest = op.uop.dest
-            if dest is not None and dest != REG_ZERO and op.uop.op is not OpClass.NOP:
-                reg_producer[dest] = op
-
-    def _release_victim_fu(self, victim: DynOp, now: int) -> None:
-        """Free functional-unit reservations a squashed op still holds.
-
-        Only unpipelined ops reserve a unit across cycles; a squashed
-        in-flight divide (primary execution or its check) must give its
-        unit back instead of blocking it for the full latency of work that
-        no longer exists.  Reservations that already expired are left to
-        ``begin_cycle`` — releasing them here could steal an identical
-        reservation from a live op.
-        """
-        if victim.uop.op not in UNPIPELINED_OPS:
-            return
-        cls = fu_class_for(victim.uop.op)
-        if victim.issued_at is not None and victim.complete_at is not None:
-            if victim.complete_at > now:
-                self._fu.release(cls, victim.complete_at)
-        if victim.check_issued_at is not None and victim.check_complete_at is not None:
-            if victim.check_complete_at > now:
-                self._fu.release(cls, victim.check_complete_at)
+        self._recovery.recover_fault(faulty, now)

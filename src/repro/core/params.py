@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 from typing import Any, Mapping
 
+from repro.core.recovery import RecoveryParams
 from repro.isa.opcodes import FUClass
 
 
@@ -111,6 +112,12 @@ class MemDepParams:
             violation squash (same role as the checker's recovery_penalty).
         forward_latency: Cycles for a load to receive a forwarded store
             value (store-buffer bypass instead of a D-cache access).
+        ssit_decay_cycles: When positive, both predictor tables are cleared
+            once per that many cycles (lazily, at the first predictor
+            access past each interval boundary), bounding how long a
+            trained-in false dependency can keep delaying loads on long
+            runs.  0 (the default) keeps entries forever — the legacy
+            behaviour the goldens pin.
     """
 
     enabled: bool = False
@@ -119,6 +126,7 @@ class MemDepParams:
     lsq_size: int = 64
     violation_penalty: int = 8
     forward_latency: int = 1
+    ssit_decay_cycles: int = 0
 
     def __post_init__(self) -> None:
         for name in ("ssit_size", "lfst_size", "lsq_size", "forward_latency"):
@@ -126,10 +134,16 @@ class MemDepParams:
                 raise ValueError(f"{name} must be positive")
         if self.violation_penalty < 0:
             raise ValueError("violation_penalty must be non-negative")
+        if self.ssit_decay_cycles < 0:
+            raise ValueError("ssit_decay_cycles must be non-negative")
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-serializable snapshot."""
-        return {
+        """JSON-serializable snapshot.
+
+        ``ssit_decay_cycles`` is emitted only when non-zero so stored rows
+        from memdep sweeps that predate the knob keep their exact layout.
+        """
+        data = {
             "enabled": self.enabled,
             "ssit_size": self.ssit_size,
             "lfst_size": self.lfst_size,
@@ -137,6 +151,9 @@ class MemDepParams:
             "violation_penalty": self.violation_penalty,
             "forward_latency": self.forward_latency,
         }
+        if self.ssit_decay_cycles:
+            data["ssit_decay_cycles"] = self.ssit_decay_cycles
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "MemDepParams":
@@ -187,6 +204,20 @@ class CoreParams:
             forwarding, order-violation replay) — see :class:`MemDepParams`.
             Disabled by default: loads then issue as soon as their register
             sources are ready, the legacy behaviour the goldens pin.
+        recovery: Recovery-policy knobs (see
+            :class:`~repro.core.recovery.RecoveryParams`).  The default
+            ``checkpoint_interval = 0`` keeps the legacy flat-penalty
+            fault-recovery model the goldens pin; a positive interval
+            enables verified-state checkpointing with rollback-based
+            recovery cost.
+        cycle_skip: Let the run loop jump ``now`` to the next scheduled
+            wakeup when the machine is provably idle (ready queue empty,
+            fetch stalled, no stage able to make progress) instead of
+            ticking cycle by cycle.  A pure wall-clock optimization: the
+            simulated schedule and every statistic are identical either
+            way (asserted by the cycle-skip identity tests), so it is on
+            by default and excluded from serialized configs unless
+            disabled.
     """
 
     fetch_width: int = 8
@@ -204,6 +235,8 @@ class CoreParams:
     record_retired: bool = False
     checker: CheckerParams = field(default_factory=CheckerParams)
     memdep: MemDepParams = field(default_factory=MemDepParams)
+    recovery: RecoveryParams = field(default_factory=RecoveryParams)
+    cycle_skip: bool = True
 
     def __post_init__(self) -> None:
         for name in ("fetch_width", "issue_width", "commit_width", "window_size"):
@@ -227,10 +260,11 @@ class CoreParams:
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable snapshot (FU classes by name, checker nested).
 
-        ``frontend_depth`` is emitted only when non-zero, and ``memdep``
-        only when enabled: experiment-result rows embed this dict, and
-        older stores must stay byte-identical when re-generated with the
-        default (legacy) configuration.
+        ``frontend_depth`` is emitted only when non-zero, ``memdep`` only
+        when enabled, ``recovery`` only when checkpointing is on, and
+        ``cycle_skip`` only when disabled: experiment-result rows embed
+        this dict, and older stores must stay byte-identical when
+        re-generated with the default (legacy) configuration.
         """
         data = {
             "fetch_width": self.fetch_width,
@@ -251,6 +285,10 @@ class CoreParams:
             data["frontend_depth"] = self.frontend_depth
         if self.memdep.enabled:
             data["memdep"] = self.memdep.to_dict()
+        if self.recovery.checkpoint_interval:
+            data["recovery"] = self.recovery.to_dict()
+        if not self.cycle_skip:
+            data["cycle_skip"] = False
         return data
 
     @classmethod
@@ -273,4 +311,6 @@ class CoreParams:
             kwargs["checker"] = CheckerParams.from_dict(kwargs["checker"])
         if "memdep" in kwargs and not isinstance(kwargs["memdep"], MemDepParams):
             kwargs["memdep"] = MemDepParams.from_dict(kwargs["memdep"])
+        if "recovery" in kwargs and not isinstance(kwargs["recovery"], RecoveryParams):
+            kwargs["recovery"] = RecoveryParams.from_dict(kwargs["recovery"])
         return cls(**kwargs)

@@ -5,6 +5,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.core.recovery import RecoveryCause
+
 #: Cap on stored detection-latency samples.  ``detection_latency_sum`` and
 #: ``max`` stay exact past the cap; the stored list degrades to a uniform
 #: reservoir (Algorithm R) so sweep rows stay bounded on long runs.
@@ -15,6 +17,12 @@ def _reservoir_rng() -> random.Random:
     # Fixed seed: the sample kept past the cap is deterministic, keeping
     # result rows byte-identical across machines and repeat runs.
     return random.Random(0x5EED)
+
+
+def _zero_causes() -> dict[str, int]:
+    # Pre-seeded with every cause so serialized dicts have a stable key set
+    # (insertion order follows the enum, identically on every run).
+    return {cause.value: 0 for cause in RecoveryCause}
 
 
 @dataclass(slots=True)
@@ -74,6 +82,33 @@ class CoreStats:
     loads_delayed: int = 0
     #: Fetch cycles cut short because the load-store queue was full.
     lsq_full_stalls: int = 0
+    #: Whether the store-set decay knob was active (gates ``ssit_decays``
+    #: in to_dict so legacy memdep rows keep their exact layout).
+    ssit_decay_enabled: bool = False
+    #: Times the store-set predictor's tables were cleared by decay.
+    ssit_decays: int = 0
+    # --- recovery / checkpointing (counters always maintained; the dict
+    # block is emitted only when checkpointing ran, keeping legacy rows
+    # byte-identical — same gating pattern as memdep above) ---
+    checkpointing_enabled: bool = False
+    #: Verified-state checkpoints taken (excludes the implicit initial one).
+    checkpoints_taken: int = 0
+    #: Front-end stall cycles charged for checkpoint creation.
+    checkpoint_overhead_cycles: int = 0
+    #: Total cycles between fault detections and fetch restart.
+    recovery_stall_cycles: int = 0
+    #: Sum/max over per-recovery rollback distances (instructions between
+    #: the restored checkpoint and the restart point).
+    rollback_distance_sum: int = 0
+    rollback_distance_max: int = 0
+    #: Power-of-two-bucketed rollback-distance histogram (key = bucket
+    #: upper bound as a string, for JSON).
+    rollback_distance_hist: dict[str, int] = field(default_factory=dict)
+    #: Recovery events by :class:`~repro.core.recovery.RecoveryCause`
+    #: (branch redirects scheduled, fault recoveries, violation replays).
+    recoveries_by_cause: dict[str, int] = field(default_factory=_zero_causes)
+    #: Squashed ops (wrong-path included) by the cause that squashed them.
+    squashed_by_cause: dict[str, int] = field(default_factory=_zero_causes)
     memory: dict[str, float] = field(default_factory=dict)
     #: RNG backing the detection-latency reservoir (host-side bookkeeping,
     #: never serialized).
@@ -88,6 +123,11 @@ class CoreStats:
     wall_seconds: float = 0.0
     #: Timed wakeups posted to the event wheel over the run.
     sched_events: int = 0
+    #: Idle cycles the run loop jumped over (``CoreParams.cycle_skip``).
+    #: Telemetry, not simulated state: a skipped cycle is one the machine
+    #: provably did nothing in, so ``cycles`` and every other counter are
+    #: identical with skipping on or off.
+    cycles_skipped: int = 0
 
     @property
     def ipc(self) -> float:
@@ -157,6 +197,20 @@ class CoreStats:
                 samples[slot] = latency
 
     @property
+    def mean_recovery_stall(self) -> float:
+        """Mean fetch-restart stall cycles per fault recovery."""
+        if not self.recoveries:
+            return 0.0
+        return self.recovery_stall_cycles / self.recoveries
+
+    @property
+    def mean_rollback_distance(self) -> float:
+        """Mean instructions replayed from checkpoint per fault recovery."""
+        if not self.recoveries:
+            return 0.0
+        return self.rollback_distance_sum / self.recoveries
+
+    @property
     def mispredict_rate(self) -> float:
         """Fraction of committed-path branches that were mispredicted."""
         if not self.branches:
@@ -178,6 +232,23 @@ class CoreStats:
                 "lsq_full_stalls": self.lsq_full_stalls,
             }
             if self.memdep_enabled
+            else {}
+        )
+        if self.memdep_enabled and self.ssit_decay_enabled:
+            memdep["ssit_decays"] = self.ssit_decays
+        recovery: dict[str, float | dict[str, int]] = (
+            {
+                "checkpoints_taken": self.checkpoints_taken,
+                "checkpoint_overhead_cycles": self.checkpoint_overhead_cycles,
+                "recovery_stall_cycles": self.recovery_stall_cycles,
+                "mean_recovery_stall": self.mean_recovery_stall,
+                "mean_rollback_distance": self.mean_rollback_distance,
+                "max_rollback_distance": self.rollback_distance_max,
+                "rollback_distance_hist": dict(self.rollback_distance_hist),
+                "recoveries_by_cause": dict(self.recoveries_by_cause),
+                "squashed_by_cause": dict(self.squashed_by_cause),
+            }
+            if self.checkpointing_enabled
             else {}
         )
         return {
@@ -209,5 +280,6 @@ class CoreStats:
             "max_detection_latency": self.detection_latency_max,
             "detection_latencies": list(self.detection_latencies),
             **memdep,
+            **recovery,
             **{f"mem_{key}": value for key, value in self.memory.items()},
         }

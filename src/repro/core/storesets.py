@@ -18,6 +18,14 @@ makes chains of conflicting stores converge on a single set).
 The tables are deliberately small and direct-mapped like the hardware
 proposal: aliasing between unrelated PCs is part of the model (a false
 dependency costs delay, never correctness).
+
+With ``decay_cycles > 0`` both tables are additionally cleared once per
+that many cycles, bounding how long a trained-in (possibly false)
+dependency can keep delaying loads on long runs.  The clear is lazy and
+interval-aligned: the first table access whose cycle lies past an
+interval boundary wipes the tables once, so the observable behaviour is
+a pure function of the access cycles — deterministic, and unaffected by
+the run loop's cycle skipping.
 """
 
 from __future__ import annotations
@@ -31,11 +39,22 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 class StoreSetPredictor:
     """SSIT/LFST tables predicting which store a load must wait for."""
 
-    __slots__ = ("_ssit_size", "_lfst_size", "_ssit", "_lfst", "_next_ssid")
+    __slots__ = (
+        "_ssit_size",
+        "_lfst_size",
+        "_ssit",
+        "_lfst",
+        "_next_ssid",
+        "_decay_cycles",
+        "_decay_boundary",
+        "decays",
+    )
 
-    def __init__(self, ssit_size: int = 1024, lfst_size: int = 128):
+    def __init__(self, ssit_size: int = 1024, lfst_size: int = 128, decay_cycles: int = 0):
         if ssit_size <= 0 or lfst_size <= 0:
             raise ValueError("ssit_size and lfst_size must be positive")
+        if decay_cycles < 0:
+            raise ValueError("decay_cycles must be non-negative")
         self._ssit_size = ssit_size
         self._lfst_size = lfst_size
         #: PC-hash slot -> SSID, or None while the PC has no set.
@@ -45,21 +64,40 @@ class StoreSetPredictor:
         # Round-robin SSID allocator; wraps and reuses sets under pressure,
         # like a real finite table.
         self._next_ssid = 0
+        #: Cycles per decay interval; 0 disables decay (entries persist).
+        self._decay_cycles = decay_cycles
+        # Last interval-aligned boundary at which the tables were cleared.
+        self._decay_boundary = 0
+        #: Times the tables were cleared by decay (surfaced in CoreStats).
+        self.decays = 0
 
     def _index(self, pc: int) -> int:
         # Word-aligned PCs: drop the low bits before the modulo so adjacent
         # instructions spread across slots.
         return (pc >> 2) % self._ssit_size
 
+    def _maybe_decay(self, now: int) -> None:
+        # One clear per crossed boundary set, not per elapsed interval: a
+        # quiet predictor that skips several intervals wipes once, exactly
+        # what interval-timer hardware would have left behind.
+        boundary = now - now % self._decay_cycles
+        if boundary > self._decay_boundary:
+            self._decay_boundary = boundary
+            self._ssit = [None] * self._ssit_size
+            self._lfst = [None] * self._lfst_size
+            self.decays += 1
+
     # ---------------------------------------------------------------- predict
 
-    def predicted_store(self, load_pc: int) -> "DynOp | None":
+    def predicted_store(self, load_pc: int, now: int = 0) -> "DynOp | None":
         """The in-flight store this load should wait for, or None.
 
         Stale entries — the set's last store was squashed — are cleared on
         the way out rather than eagerly at squash time (the LFST is tiny,
         and squashes would otherwise need a full-table sweep).
         """
+        if self._decay_cycles:
+            self._maybe_decay(now)
         ssid = self._ssit[self._index(load_pc)]
         if ssid is None:
             return None
@@ -71,16 +109,20 @@ class StoreSetPredictor:
             return None
         return store
 
-    def store_fetched(self, store_pc: int, op: "DynOp") -> None:
+    def store_fetched(self, store_pc: int, op: "DynOp", now: int = 0) -> None:
         """Record ``op`` as its set's last fetched store (if it has a set)."""
+        if self._decay_cycles:
+            self._maybe_decay(now)
         ssid = self._ssit[self._index(store_pc)]
         if ssid is not None:
             self._lfst[ssid] = op
 
     # ------------------------------------------------------------------ train
 
-    def train(self, load_pc: int, store_pc: int) -> None:
+    def train(self, load_pc: int, store_pc: int, now: int = 0) -> None:
         """Merge the violating load and store into one store set."""
+        if self._decay_cycles:
+            self._maybe_decay(now)
         load_slot = self._index(load_pc)
         store_slot = self._index(store_pc)
         load_ssid = self._ssit[load_slot]

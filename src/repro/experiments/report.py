@@ -41,6 +41,13 @@ _METRICS: dict[str, Callable[[Mapping[str, Any]], float | None]] = {
     "faults_injected": lambda r: r["checked"]["faults_injected"],
     "recoveries": lambda r: r["checked"]["recoveries"],
     "mean_detection_latency": lambda r: r["checked"]["mean_detection_latency"],
+    # Checkpointed-recovery metrics: present only in results produced with
+    # checkpoint_interval > 0 (the .get keeps legacy rows aggregating).
+    "checkpoints_taken": lambda r: r["checked"].get("checkpoints_taken"),
+    "checkpoint_overhead_cycles": lambda r: r["checked"].get("checkpoint_overhead_cycles"),
+    "recovery_stall_cycles": lambda r: r["checked"].get("recovery_stall_cycles"),
+    "mean_recovery_stall": lambda r: r["checked"].get("mean_recovery_stall"),
+    "mean_rollback_distance": lambda r: r["checked"].get("mean_rollback_distance"),
 }
 
 
@@ -79,6 +86,7 @@ def _group_sort_key(group: Mapping[str, Any]) -> tuple:
         not config.get("wrong_path", True),
         config.get("wrong_path_depth", 0),
         _fu_label(config.get("fu_counts")),
+        config.get("checkpoint_interval", 0),
     )
 
 
@@ -147,7 +155,7 @@ def _config_columns(config: Mapping[str, Any]) -> dict[str, Any]:
     policy = config.get("slot_policy", "opportunistic")
     if policy == "reserved":
         policy = f"reserved({config.get('reserved_slots')})"
-    return {
+    columns = {
         "preset": config.get("preset"),
         "fault_rate": config.get("fault_rate"),
         "issue_width": config.get("issue_width"),
@@ -155,23 +163,31 @@ def _config_columns(config: Mapping[str, Any]) -> dict[str, Any]:
         "wrong_path": config.get("wrong_path"),
         "fu": _fu_label(config.get("fu_counts")),
     }
+    # Emitted only for checkpointed configs so legacy reports keep their
+    # exact column set (mixed sweeps render "-" for the flat-recovery rows).
+    if "checkpoint_interval" in config:
+        columns["ckpt"] = config["checkpoint_interval"]
+    return columns
 
 
 def _slowdown_table(groups: Sequence[Mapping[str, Any]]) -> list[dict[str, Any]]:
     table = []
     for group in groups:
         metrics = group["metrics"]
-        table.append(
-            {
-                **_config_columns(group["config"]),
-                "seeds": group["n_seeds"],
-                "unchecked_ipc": metrics["unchecked_ipc"]["mean"],
-                "checked_ipc": metrics["checked_ipc"]["mean"],
-                "slowdown_mean": metrics["slowdown"]["mean"],
-                "slowdown_std": metrics["slowdown"]["std"],
-                "slot_steal_rate": metrics["slot_steal_rate"]["mean"],
-            }
-        )
+        row = {
+            **_config_columns(group["config"]),
+            "seeds": group["n_seeds"],
+            "unchecked_ipc": metrics["unchecked_ipc"]["mean"],
+            "checked_ipc": metrics["checked_ipc"]["mean"],
+            "slowdown_mean": metrics["slowdown"]["mean"],
+            "slowdown_std": metrics["slowdown"]["std"],
+            "slot_steal_rate": metrics["slot_steal_rate"]["mean"],
+        }
+        if metrics["mean_recovery_stall"]["mean"] is not None:
+            row["recovery_stall"] = metrics["mean_recovery_stall"]["mean"]
+            row["rollback_dist"] = metrics["mean_rollback_distance"]["mean"]
+            row["ckpt_overhead"] = metrics["checkpoint_overhead_cycles"]["mean"]
+        table.append(row)
     return table
 
 
@@ -281,7 +297,15 @@ def write_csv_tables(aggregated: Mapping[str, Any], directory: str | Path) -> li
         path = directory / f"{name}.csv"
         with path.open("w", newline="", encoding="utf-8") as fh:
             if table:
-                writer = csv.DictWriter(fh, fieldnames=list(table[0].keys()))
+                # Column union in first-seen order: a mixed sweep (some rows
+                # checkpointed, some not) must not crash DictWriter on the
+                # conditional recovery columns.
+                columns: list[str] = []
+                for row in table:
+                    for key in row:
+                        if key not in columns:
+                            columns.append(key)
+                writer = csv.DictWriter(fh, fieldnames=columns, restval="")
                 writer.writeheader()
                 writer.writerows(table)
         written.append(path)

@@ -73,6 +73,10 @@ class RunPoint:
     memdep: bool = False
     dcache_banks: int = 1
     store_alias_fraction: float = 0.0
+    #: Verified-state checkpointing (0 = off, the legacy flat-penalty
+    #: recovery); the overhead knob only matters while the interval is on.
+    checkpoint_interval: int = 0
+    checkpoint_overhead: int = 1
 
     def config(self) -> dict[str, Any]:
         """The canonical, JSON-serializable identity of this point.
@@ -107,6 +111,9 @@ class RunPoint:
             config["dcache_banks"] = self.dcache_banks
         if self.store_alias_fraction:
             config["store_alias_fraction"] = self.store_alias_fraction
+        if self.checkpoint_interval:
+            config["checkpoint_interval"] = self.checkpoint_interval
+            config["checkpoint_overhead"] = self.checkpoint_overhead
         return config
 
     def config_hash(self) -> str:
@@ -145,6 +152,11 @@ class RunPoint:
             data["fu_counts"] = dict(self.fu_counts)
         if self.memdep:
             data["memdep"] = {"enabled": True}
+        if self.checkpoint_interval:
+            data["recovery"] = {
+                "checkpoint_interval": self.checkpoint_interval,
+                "checkpoint_overhead": self.checkpoint_overhead,
+            }
         return CoreParams.from_dict(data)
 
     @classmethod
@@ -165,6 +177,8 @@ class RunPoint:
         data.setdefault("memdep", False)
         data.setdefault("dcache_banks", 1)
         data.setdefault("store_alias_fraction", 0.0)
+        data.setdefault("checkpoint_interval", 0)
+        data.setdefault("checkpoint_overhead", 1)
         known = {f.name for f in fields(cls)}
         unknown = set(data) - known
         if unknown:
@@ -218,6 +232,14 @@ def _validate_point(point: RunPoint) -> None:
         )
     if point.dcache_banks <= 0:
         raise ValueError(f"dcache_banks must be positive, got {point.dcache_banks}")
+    if point.checkpoint_interval < 0:
+        raise ValueError(
+            f"checkpoint_interval must be non-negative, got {point.checkpoint_interval}"
+        )
+    if point.checkpoint_interval and point.checkpoint_overhead < 0:
+        raise ValueError(
+            f"checkpoint_overhead must be non-negative, got {point.checkpoint_overhead}"
+        )
     if not 0.0 <= point.store_alias_fraction <= 1.0:
         raise ValueError(
             f"store_alias_fraction must be in [0, 1], got {point.store_alias_fraction}"
@@ -256,6 +278,10 @@ def _default_dcache_banks() -> list[int]:
     return [1]
 
 
+def _default_checkpoint_intervals() -> list[int]:
+    return [0]
+
+
 @dataclass(slots=True)
 class SweepSpec:
     """A cartesian grid of experiments.
@@ -291,6 +317,13 @@ class SweepSpec:
     #: Scalar, like ``reserved_slots``: the fraction of static stores the
     #: workload pairs with later loads on shared address streams.
     store_alias_fraction: float = 0.0
+    #: Recovery axis: commits between verified-state checkpoints (0 = the
+    #: legacy flat-penalty recovery, the default so existing specs and
+    #: their stored config hashes are untouched).
+    checkpoint_intervals: list[int] = field(default_factory=_default_checkpoint_intervals)
+    #: Scalar checkpoint-creation cost in fetch-stall cycles (inert at
+    #: interval 0, and normalized out of those points' config hashes).
+    checkpoint_overhead: int = 1
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -308,6 +341,7 @@ class SweepSpec:
             "fu_variants",
             "memdep",
             "dcache_banks",
+            "checkpoint_intervals",
         ):
             values = getattr(self, axis)
             if not isinstance(values, (list, tuple)):
@@ -349,6 +383,7 @@ class SweepSpec:
             fu_variant,
             memdep,
             banks,
+            ckpt_interval,
             seed,
         ) in itertools.product(
             self.presets,
@@ -360,6 +395,7 @@ class SweepSpec:
             self.fu_variants,
             self.memdep,
             self.dcache_banks,
+            self.checkpoint_intervals,
             self.seeds,
         ):
             point = RunPoint(
@@ -379,6 +415,8 @@ class SweepSpec:
                 memdep=memdep,
                 dcache_banks=banks,
                 store_alias_fraction=self.store_alias_fraction,
+                checkpoint_interval=ckpt_interval,
+                checkpoint_overhead=self.checkpoint_overhead,
             )
             _validate_point(point)
             out.append(point)

@@ -228,3 +228,46 @@ def test_sweep_rejects_bad_spec_and_workers(tmp_path):
     )
     with pytest.raises(SystemExit):
         main(["sweep", "--spec", str(cross)])
+
+
+def test_checkpoint_flags_flow_into_the_run_and_report(capsys):
+    exit_code = main(
+        [
+            "run", "--preset", "int-heavy", "--ops", "1500", "--check",
+            "--fault-rate", "0.005", "--checkpoint-interval", "64",
+            "--checkpoint-overhead", "2", "--json",
+        ]
+    )
+    assert exit_code == 0
+    result = json.loads(capsys.readouterr().out)
+    assert result["params"]["recovery"]["checkpoint_interval"] == 64
+    assert result["params"]["recovery"]["checkpoint_overhead"] == 2
+    checked = result["checked"]
+    assert checked["checkpoints_taken"] > 0
+    assert checked["recoveries_by_cause"]["checker_fault"] == checked["recoveries"]
+    # Human-readable mode surfaces the checkpoint line.
+    main(
+        [
+            "run", "--preset", "int-heavy", "--ops", "1500", "--check",
+            "--fault-rate", "0.005", "--checkpoint-interval", "64",
+        ]
+    )
+    assert "checkpoint:" in capsys.readouterr().out
+
+
+def test_checkpoint_and_decay_flags_validate():
+    with pytest.raises(SystemExit):
+        main(["run", "--checkpoint-interval", "-1"])
+    with pytest.raises(SystemExit):
+        main(["run", "--checkpoint-interval", "8", "--checkpoint-overhead", "-2"])
+    with pytest.raises(SystemExit):
+        main(["run", "--ssit-decay-cycles", "100"])  # requires --memdep
+    with pytest.raises(SystemExit):
+        main(["run", "--memdep", "--ssit-decay-cycles", "-5"])
+
+
+def test_default_run_emits_no_recovery_or_decay_keys(capsys):
+    main(["run", "--preset", "int-heavy", "--ops", "400", "--check", "--json"])
+    result = json.loads(capsys.readouterr().out)
+    assert "recovery" not in result["params"]
+    assert "checkpoints_taken" not in result["checked"]

@@ -1,0 +1,76 @@
+"""Cycle skipping is a pure wall-clock optimization: stats are identical.
+
+The run loop may jump ``now`` over cycles in which provably nothing can
+happen (empty ready queue, every stage blocked on a known future cycle).
+These tests pin the contract on shortened versions of the committed bench
+configurations — every machine shape the benchmark gates, including the
+memory-dependence and checkpointing ones — in both unchecked and checked
+modes: ``CoreStats.to_dict()`` must be byte-identical with skipping on or
+off, and the skipping run must actually skip.
+"""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.bench import BENCH_CONFIGS
+from repro.core import CheckerParams, CoreParams, SuperscalarCore
+from repro.core.params import MemDepParams, RecoveryParams
+from repro.memory.hierarchy import HierarchyParams, MemoryHierarchy
+from repro.workloads import PRESETS, WrongPathGenerator, generate
+
+NUM_OPS = 3_000
+
+
+def _run(shape: dict, cycle_skip: bool, checked: bool):
+    profile = PRESETS[shape.get("preset", "branchy")]
+    if shape.get("store_alias_fraction"):
+        profile = replace(profile, store_alias_fraction=shape["store_alias_fraction"])
+    trace = generate(profile, NUM_OPS, seed=0)
+    checker = (
+        CheckerParams(enabled=True, fault_rate=1e-3, fault_seed=1)
+        if checked
+        else CheckerParams(enabled=False, fault_rate=0.0)
+    )
+    params = CoreParams(
+        window_size=shape["window_size"],
+        wrong_path_depth=shape["wrong_path_depth"],
+        checker=checker,
+        memdep=MemDepParams(enabled=bool(shape.get("memdep"))),
+        recovery=RecoveryParams(
+            checkpoint_interval=shape.get("checkpoint_interval", 0),
+            checkpoint_overhead=shape.get("checkpoint_overhead", 1),
+        ),
+        cycle_skip=cycle_skip,
+    )
+    banks = shape.get("dcache_banks", 1)
+    hierarchy = (
+        MemoryHierarchy(HierarchyParams(dcache_banks=banks)) if banks != 1 else None
+    )
+    core = SuperscalarCore(
+        params,
+        hierarchy=hierarchy,
+        wrong_path_source=WrongPathGenerator(profile, seed=0).iter_stream,
+    )
+    return core.run(trace)
+
+
+@pytest.mark.parametrize("checked", [False, True], ids=["unchecked", "checked"])
+@pytest.mark.parametrize("config", sorted(set(BENCH_CONFIGS) - {"ci-smoke"}))
+def test_skip_is_stat_identical_on_bench_configs(config: str, checked: bool):
+    shape = BENCH_CONFIGS[config]
+    ticked = _run(shape, cycle_skip=False, checked=checked)
+    skipped = _run(shape, cycle_skip=True, checked=checked)
+    assert ticked.to_dict() == skipped.to_dict()
+    # The contract is only interesting if cycles were actually skipped.
+    assert ticked.cycles_skipped == 0
+    assert skipped.cycles_skipped > 0
+    assert skipped.cycles == ticked.cycles
+
+
+def test_cycle_skip_default_on_and_serialized_only_when_off():
+    assert CoreParams().cycle_skip
+    assert "cycle_skip" not in CoreParams().to_dict()
+    data = CoreParams(cycle_skip=False).to_dict()
+    assert data["cycle_skip"] is False
+    assert not CoreParams.from_dict(data).cycle_skip

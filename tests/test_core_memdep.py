@@ -316,3 +316,67 @@ def test_default_config_emits_no_memdep_keys():
         assert "mem_order_violations" not in result[mode]
         assert "loads_forwarded" not in result[mode]
     assert "memdep" not in result["params"]
+
+
+# ----------------------------------------------------------------- SSIT decay
+
+
+def test_decay_clears_trained_sets_after_the_interval():
+    pred = StoreSetPredictor(decay_cycles=100)
+    load_pc, store_pc = 0x1000, 0x2000
+    pred.train(load_pc, store_pc, now=10)
+    pred.store_fetched(store_pc, _store(seq=3), now=20)
+    assert pred.predicted_store(load_pc, now=50) is not None
+    # First access past the interval boundary wipes both tables.
+    assert pred.predicted_store(load_pc, now=120) is None
+    assert pred.decays == 1
+    # The store's set is gone too: re-recording it predicts nothing.
+    pred.store_fetched(store_pc, _store(seq=9), now=130)
+    assert pred.predicted_store(load_pc, now=140) is None
+
+
+def test_decay_is_lazy_and_once_per_boundary():
+    pred = StoreSetPredictor(decay_cycles=100)
+    pred.train(0x1000, 0x2000, now=0)
+    # Several quiet intervals elapse; the next access clears exactly once.
+    pred.train(0x3000, 0x4000, now=550)
+    assert pred.decays == 1
+    pred.store_fetched(0x4000, _store(seq=1), now=560)
+    assert pred.predicted_store(0x3000, now=570) is not None
+    assert pred.decays == 1
+
+
+def test_decay_zero_never_clears():
+    pred = StoreSetPredictor()  # decay_cycles=0, the legacy default
+    pred.train(0x1000, 0x2000, now=0)
+    pred.store_fetched(0x2000, _store(seq=2), now=10**9)
+    assert pred.predicted_store(0x1000, now=2 * 10**9) is not None
+    assert pred.decays == 0
+
+
+def test_negative_decay_cycles_rejected():
+    with pytest.raises(ValueError):
+        StoreSetPredictor(decay_cycles=-1)
+    with pytest.raises(ValueError):
+        MemDepParams(enabled=True, ssit_decay_cycles=-1)
+
+
+def test_ssit_decay_runs_end_to_end_and_counts_in_stats():
+    from repro.cli import run_experiment
+    from repro.workloads import PRESETS
+
+    from dataclasses import replace
+
+    profile = replace(PRESETS["memory-bound"], store_alias_fraction=0.5)
+    base = CoreParams(memdep=MemDepParams(enabled=True, ssit_decay_cycles=200))
+    result = run_experiment(profile, num_ops=2_000, seed=0, check=True, params=base)
+    for mode in ("unchecked", "checked"):
+        assert result[mode]["ssit_decays"] > 0
+    assert result["params"]["memdep"]["ssit_decay_cycles"] == 200
+    # Decay off: the key stays out of both stats and params (golden safety).
+    plain = run_experiment(
+        profile, num_ops=2_000, seed=0, check=True,
+        params=CoreParams(memdep=MemDepParams(enabled=True)),
+    )
+    assert "ssit_decays" not in plain["unchecked"]
+    assert "ssit_decay_cycles" not in plain["params"]["memdep"]

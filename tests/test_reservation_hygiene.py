@@ -98,3 +98,80 @@ def test_forced_fault_on_a_load_inside_an_alias_chain():
     stats = core.run(trace)
     _drained(core, stats, 400)
     assert stats.recoveries > 0
+
+
+# ------------------------------------------------------- nested recoveries
+
+
+def test_fault_recovery_during_a_live_wrong_path_episode_with_checkpoints():
+    """Checkpointed fault recovery must sweep away an in-flight wrong-path
+    episode (and its LSQ/FU holdings) exactly like the flat-penalty path."""
+    from repro.core.params import RecoveryParams
+
+    profile = PRESETS["branchy"]
+    trace = generate(profile, NUM_OPS, seed=3)
+    params = CoreParams(
+        window_size=64,
+        wrong_path_depth=48,
+        memdep=MemDepParams(enabled=True, lsq_size=12),
+        recovery=RecoveryParams(checkpoint_interval=32, checkpoint_overhead=2),
+        checker=CheckerParams(enabled=True, fault_rate=3e-3, fault_seed=11),
+    )
+    core = SuperscalarCore(
+        params,
+        hierarchy=MemoryHierarchy(HierarchyParams(dcache_banks=4)),
+        wrong_path_source=WrongPathGenerator(profile, seed=3).iter_stream,
+    )
+    stats = core.run(trace)
+    _drained(core, stats, NUM_OPS)
+    assert stats.recoveries > 0
+    assert stats.wrong_path_squashed > 0
+    assert stats.checkpoints_taken > 0
+    # The dead episode stayed dead: no stale wrong-path state at run end.
+    assert core._wp_branch is None
+
+
+def test_violation_replay_while_recovery_stalls_fetch():
+    """Memory-order violations delivered during checkpoint-rollback fetch
+    stalls (long restore penalty) must still drain to full commit."""
+    from repro.core.params import RecoveryParams
+
+    profile = replace(PRESETS["memory-bound"], store_alias_fraction=0.6)
+    trace = generate(profile, NUM_OPS, seed=7)
+    params = CoreParams(
+        memdep=MemDepParams(enabled=True, lsq_size=8),
+        recovery=RecoveryParams(
+            checkpoint_interval=64, checkpoint_overhead=1, restore_penalty=12
+        ),
+        checker=CheckerParams(enabled=True, fault_rate=1e-3, fault_seed=5),
+    )
+    core = SuperscalarCore(
+        params, wrong_path_source=WrongPathGenerator(profile, seed=7).iter_stream
+    )
+    stats = core.run(trace)
+    _drained(core, stats, NUM_OPS)
+    assert stats.mem_order_violations > 0
+    assert stats.recoveries > 0
+    assert stats.recovery_stall_cycles >= 12 * stats.recoveries
+
+
+def test_checkpoint_rollback_with_a_full_lsq():
+    """Forced faults while the LSQ is saturated: rollback must refund the
+    squashed tail so fetch unblocks and the trace commits fully."""
+    from repro.core.params import RecoveryParams
+
+    profile = replace(PRESETS["memory-bound"], store_alias_fraction=1.0)
+    trace = generate(profile, 600, seed=2)
+    params = CoreParams(
+        memdep=MemDepParams(enabled=True, lsq_size=6),
+        recovery=RecoveryParams(checkpoint_interval=16, max_live_checkpoints=2),
+        checker=CheckerParams(
+            enabled=True, force_fault_seqs=frozenset(range(0, 600, 41))
+        ),
+    )
+    core = SuperscalarCore(params)
+    stats = core.run(trace)
+    _drained(core, stats, 600)
+    assert stats.recoveries > 0
+    assert stats.lsq_full_stalls > 0
+    assert stats.checkpoints_taken > 0
