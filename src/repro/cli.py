@@ -30,11 +30,14 @@ import argparse
 import json
 import sys
 from dataclasses import replace
+from pathlib import Path
 from typing import Sequence
 
 from repro.core.params import CheckerParams, CoreParams, MemDepParams, RecoveryParams
 from repro.core.core import SuperscalarCore
 from repro.memory.hierarchy import HierarchyParams, MemoryHierarchy
+from repro.obs import ObsSession
+from repro.obs.telemetry import render_table as render_telemetry_table
 from repro.workloads import PRESET_NAMES, PRESETS, WorkloadProfile, WrongPathGenerator, generate
 
 #: Single source of truth for the depth default (the CoreParams field).
@@ -60,6 +63,7 @@ def run_experiment(
     params: CoreParams | None = None,
     dcache_banks: int = 1,
     store_alias_fraction: float | None = None,
+    obs: ObsSession | None = None,
 ) -> dict:
     """Run one preset through baseline and (optionally) checked cores.
 
@@ -79,6 +83,12 @@ def run_experiment(
         store_alias_fraction: When set, overrides the profile's
             ``store_alias_fraction`` (see
             :class:`~repro.workloads.profiles.WorkloadProfile`).
+        obs: Optional :class:`~repro.obs.ObsSession`.  When provided, each
+            core gets a pipeline tracer (labelled ``unchecked``/``checked``)
+            if tracing was requested, runs with the session's telemetry
+            interval, and registers its final stats into the session's
+            metrics registry.  ``None`` (the default — every sweep and
+            golden path) leaves the cores entirely uninstrumented.
 
     The returned dict is fully JSON-serializable (validated by the CLI
     schema tests): stats are flattened via ``CoreStats.to_dict`` and the
@@ -92,6 +102,11 @@ def run_experiment(
     # prefix fetched before each branch resolves is ever synthesized.
     wp_source = WrongPathGenerator(profile, seed=seed).iter_stream if wrong_path else None
     base = params if params is not None else CoreParams()
+    # Observability overrides ride the same replace() path as every other
+    # knob; with obs=None the dict is empty and params are untouched.
+    obs_overrides: dict = {}
+    if obs is not None and obs.telemetry_interval:
+        obs_overrides["telemetry_interval"] = obs.telemetry_interval
 
     def core_params(checker: CheckerParams | None = None) -> CoreParams:
         return replace(
@@ -105,6 +120,7 @@ def run_experiment(
                 if checker is not None
                 else replace(base.checker, enabled=False, fault_rate=0.0)
             ),
+            **obs_overrides,
         )
 
     checker_params = replace(
@@ -119,9 +135,15 @@ def run_experiment(
         return MemoryHierarchy(HierarchyParams(dcache_banks=dcache_banks))
 
     baseline = SuperscalarCore(
-        core_params(), hierarchy=hierarchy(), wrong_path_source=wp_source
+        core_params(),
+        hierarchy=hierarchy(),
+        wrong_path_source=wp_source,
+        tracer=obs.tracer_for("unchecked") if obs is not None else None,
     )
     baseline_stats = baseline.run(trace)
+    if obs is not None:
+        obs.record_telemetry("unchecked", baseline.telemetry)
+        baseline_stats.register_metrics(obs.registry, "unchecked.")
     result: dict = {
         "preset": profile.name,
         "ops": num_ops,
@@ -132,9 +154,15 @@ def run_experiment(
     }
     if check:
         checked = SuperscalarCore(
-            core_params(checker_params), hierarchy=hierarchy(), wrong_path_source=wp_source
+            core_params(checker_params),
+            hierarchy=hierarchy(),
+            wrong_path_source=wp_source,
+            tracer=obs.tracer_for("checked") if obs is not None else None,
         )
         checked_stats = checked.run(trace)
+        if obs is not None:
+            obs.record_telemetry("checked", checked.telemetry)
+            checked_stats.register_metrics(obs.registry, "checked.")
         result["checked"] = checked_stats.to_dict()
         # None (JSON null) rather than inf: json.dumps would emit the
         # non-RFC-8259 literal `Infinity` for float("inf").
@@ -328,6 +356,57 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         help="fetch-stall cycles charged per checkpoint creation",
     )
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the full stats+params result dict to this file as JSON "
+            "(stdout keeps the text report unless --json is also given)"
+        ),
+    )
+    obs_group = parser.add_argument_group(
+        "observability",
+        "per-op tracing, interval telemetry, and the metrics registry "
+        "(all off by default; the uninstrumented path is bit-identical)",
+    )
+    obs_group.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a Chrome trace_event JSON timeline (open with Perfetto "
+            "or chrome://tracing; 1 timestamp unit = 1 cycle)"
+        ),
+    )
+    obs_group.add_argument(
+        "--op-trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the per-op lifecycle records as JSONL (one op per line)",
+    )
+    obs_group.add_argument(
+        "--telemetry-interval",
+        type=int,
+        default=0,
+        metavar="CYCLES",
+        help=(
+            "sample IPC/occupancy/slot-steal/checker-lag telemetry every "
+            "CYCLES cycles (0 = off); samples sum exactly to the final stats"
+        ),
+    )
+    obs_group.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="PATH",
+        help="write the telemetry time series as JSONL (requires --telemetry-interval)",
+    )
+    obs_group.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the typed metrics registry (counters/gauges/histograms) as JSON",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -374,6 +453,22 @@ def build_parser() -> argparse.ArgumentParser:
             "of a stuck worker; overrides the spec's timeout_s field"
         ),
     )
+    sweep_parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a Chrome trace_event JSON of runner spans (one slice per "
+            "executed point, lanes per worker process; stored rows are "
+            "byte-identical with or without it)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the sweep summary counters as a metrics-registry JSON",
+    )
 
     report_parser = sub.add_parser(
         "report", help="aggregate a results store into the paper-style tables"
@@ -393,6 +488,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="print the machine-readable aggregate instead of text tables",
+    )
+    report_parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the aggregate (per-group means, detection-latency p90) "
+            "as a metrics-registry JSON"
+        ),
     )
 
     bench_parser = sub.add_parser(
@@ -479,6 +583,23 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         parser.error(
             f"--checkpoint-overhead must be non-negative, got {args.checkpoint_overhead}"
         )
+    if args.telemetry_interval < 0:
+        parser.error(
+            f"--telemetry-interval must be non-negative, got {args.telemetry_interval}"
+        )
+    if args.telemetry_out and not args.telemetry_interval:
+        parser.error("--telemetry-out requires --telemetry-interval")
+    obs_requested = bool(
+        args.trace_out
+        or args.op_trace_out
+        or args.telemetry_interval
+        or args.metrics_out
+    )
+    if obs_requested and args.all_presets:
+        parser.error(
+            "observability outputs trace one experiment; drop --all-presets "
+            "or run presets individually"
+        )
     base_kwargs: dict = {}
     if args.frontend_depth:
         base_kwargs["frontend_depth"] = args.frontend_depth
@@ -492,6 +613,17 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
             checkpoint_overhead=args.checkpoint_overhead,
         )
     base_params = CoreParams(**base_kwargs) if base_kwargs else None
+    obs = (
+        ObsSession(
+            trace_out=args.trace_out,
+            op_trace_out=args.op_trace_out,
+            telemetry_interval=args.telemetry_interval,
+            telemetry_out=args.telemetry_out,
+            metrics_out=args.metrics_out,
+        )
+        if obs_requested
+        else None
+    )
     names = list(PRESET_NAMES) if args.all_presets else [args.preset]
     results = [
         run_experiment(
@@ -506,13 +638,37 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
             params=base_params,
             dcache_banks=args.dcache_banks,
             store_alias_fraction=args.store_alias_fraction,
+            obs=obs,
         )
         for name in names
     ]
+    payload = results if args.all_presets else results[0]
     if args.json:
-        print(json.dumps(results if args.all_presets else results[0], indent=2))
+        print(json.dumps(payload, indent=2))
     else:
         print("\n\n".join(format_report(result) for result in results))
+        if obs is not None:
+            for label, telemetry in obs.telemetries:
+                print()
+                print(render_telemetry_table(telemetry.samples, label))
+    if args.json_out:
+        out = Path(args.json_out)
+        if out.parent != Path("."):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                       encoding="utf-8")
+        print(f"wrote {out}", file=sys.stderr)
+    if obs is not None:
+        written = obs.finish(
+            metadata={
+                "preset": names[0],
+                "ops": args.ops,
+                "seed": args.seed,
+                "check": args.check,
+            }
+        )
+        for path in written:
+            print(f"wrote {path}", file=sys.stderr)
     return 0
 
 
@@ -547,12 +703,19 @@ def _cmd_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
 
     if args.timeout is not None and args.timeout <= 0:
         parser.error(f"--timeout must be positive, got {args.timeout}")
+    obs = (
+        ObsSession(trace_out=args.trace_out, metrics_out=args.metrics_out)
+        if (args.trace_out or args.metrics_out)
+        else None
+    )
     summary = run_sweep(
         spec,
         store,
         workers=args.workers,
         progress=None if args.quiet else progress,
         timeout_s=args.timeout,
+        spans=obs.span_collector(spec.name or "sweep") if obs is not None else None,
+        registry=obs.registry if obs is not None else None,
     )
     print(
         f"sweep '{spec.name}': {summary.total} points — "
@@ -561,6 +724,11 @@ def _cmd_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
         f"({summary.wall_seconds:.1f}s wall, slowest point "
         f"{summary.slowest_point_s:.1f}s)"
     )
+    if obs is not None:
+        for path in obs.finish(
+            metadata={"sweep": spec.name, "spec": str(args.spec), "store": str(store.path)}
+        ):
+            print(f"wrote {path}", file=sys.stderr)
     return 1 if summary.errors else 0
 
 
@@ -580,6 +748,14 @@ def _cmd_report(args: argparse.Namespace, parser: argparse.ArgumentParser) -> in
     write_bench_json(aggregated, args.bench_json)
     if args.csv_dir:
         write_csv_tables(aggregated, args.csv_dir)
+    if args.metrics_out:
+        from repro.experiments import register_metrics
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        register_metrics(aggregated, registry)
+        registry.write(args.metrics_out)
+        print(f"wrote {args.metrics_out}", file=sys.stderr)
     if args.json:
         print(json.dumps(aggregated, indent=2, sort_keys=True))
     else:

@@ -77,6 +77,16 @@ class Checker:
 
     # ----------------------------------------------------------------- queue
 
+    @property
+    def pending_checks(self) -> int:
+        """Ops enqueued but not yet check-issued (the checker's lag).
+
+        Counts lazily-dropped squashed entries until the head test discards
+        them — a read-only occupancy gauge for interval telemetry, never
+        used by the pipeline itself.
+        """
+        return len(self._pending)
+
     def enqueue(self, op: DynOp) -> None:
         """Register a renamed correct-path op for its future in-order check.
 

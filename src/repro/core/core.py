@@ -63,6 +63,7 @@ is identical to ticking cycle by cycle.
 
 from __future__ import annotations
 
+import json
 import time
 from collections import deque
 from typing import Callable, Iterable, Sequence
@@ -90,6 +91,8 @@ from repro.isa.instruction import MicroOp, format_microop
 from repro.isa.opcodes import OpClass, UNPIPELINED_OPS, default_latencies, fu_class_for
 from repro.isa.registers import REG_ZERO
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.obs.telemetry import IntervalTelemetry
+from repro.obs.tracer import PipelineTracer
 from repro.workloads.synthetic import WrongPathGenerator
 
 #: Signature of a wrong-path stream source: (branch uop, branch seq,
@@ -108,9 +111,17 @@ class SuperscalarCore:
         hierarchy: MemoryHierarchy | None = None,
         predictor: CombiningPredictor | None = None,
         wrong_path_source: WrongPathSource | None = None,
+        tracer: PipelineTracer | None = None,
     ):
         self.params = params or CoreParams()
         self.hierarchy = hierarchy if hierarchy is not None else MemoryHierarchy()
+        # Observability is opt-in objects, not no-op objects: with no
+        # tracer the commit/recovery paths hold None and pay one is-None
+        # test per finalized op; with telemetry_interval == 0 the run loop
+        # is the uninstrumented one.  May also be assigned directly before
+        # calling run() (the CLI does).
+        self.tracer = tracer
+        self.telemetry: IntervalTelemetry | None = None
         self._owns_predictor = predictor is None and self.params.use_real_predictor
         self.predictor = predictor  # built by _reset_run_state() when owned
         # A caller-supplied source (e.g. a profile-aware WrongPathGenerator)
@@ -193,6 +204,10 @@ class SuperscalarCore:
         )
         self.stats.memdep_enabled = md.enabled
         self.stats.ssit_decay_enabled = md.enabled and md.ssit_decay_cycles > 0
+        # --- observability: telemetry exists only when sampling is on;
+        # the recovery manager below captures self.tracer as its hook ---
+        interval = params.telemetry_interval
+        self.telemetry = IntervalTelemetry(interval, self) if interval else None
         # --- recovery subsystem: one manager owns every squash path and
         # the (optional) verified-state checkpointing policy ---
         self._recovery = RecoveryManager(self)
@@ -264,14 +279,37 @@ class SuperscalarCore:
         skip = self._skip_enabled
         ready_heap = self._ready_heap
         maybe_skip = self._maybe_skip
-        while self._fetch_index < trace_len or window:
-            if self._now > limit:
-                raise DeadlockError(self._deadlock_report(limit))
-            step()
-            # Cycle skipping: with nothing ready to issue, jump straight to
-            # the next cycle where anything can happen (see _maybe_skip).
-            if skip and not ready_heap:
-                maybe_skip()
+        telemetry = self.telemetry
+        if telemetry is None:
+            while self._fetch_index < trace_len or window:
+                if self._now > limit:
+                    raise DeadlockError(self._deadlock_report(limit))
+                step()
+                # Cycle skipping: with nothing ready to issue, jump straight
+                # to the next cycle where anything can happen (_maybe_skip).
+                if skip and not ready_heap:
+                    maybe_skip()
+        else:
+            # Instrumented twin of the loop above: one boundary comparison
+            # per cycle, a delta sample at each crossing.  Kept as a
+            # separate loop so the telemetry-off path above is verbatim
+            # unchanged.  A cycle skip that jumps several boundaries yields
+            # one sample spanning the gap (its `cycles` field says so).
+            next_at = telemetry.next_boundary(self._now)
+            while self._fetch_index < trace_len or window:
+                if self._now > limit:
+                    telemetry.finalize(self._now)
+                    raise DeadlockError(
+                        self._flight_recorder_report(limit, telemetry),
+                        samples=telemetry.recent_samples(),
+                    )
+                step()
+                if self._now >= next_at:
+                    telemetry.sample(self._now)
+                    next_at = telemetry.next_boundary(self._now)
+                if skip and not ready_heap:
+                    maybe_skip()
+            telemetry.finalize(self._now)
         self.stats.cycles = self._now
         if self.fault_injector is not None:
             self.stats.faults_injected = self.fault_injector.injected
@@ -281,6 +319,19 @@ class SuperscalarCore:
         self.stats.sched_events = self._wheel.posted
         self.stats.memory = self.hierarchy.snapshot()
         return self.stats
+
+    def _flight_recorder_report(
+        self, limit: int, telemetry: IntervalTelemetry
+    ) -> str:
+        """Deadlock report plus the telemetry flight recorder's last samples."""
+        report = self._deadlock_report(limit)
+        samples = telemetry.recent_samples()
+        if samples:
+            lines = [report, f"flight recorder (last {len(samples)} telemetry samples):"]
+            for row in samples:
+                lines.append("  " + json.dumps(row, sort_keys=True))
+            report = "\n".join(lines)
+        return report
 
     def _deadlock_report(self, limit: int) -> str:
         """Describe why the window is stuck (for :class:`DeadlockError`)."""
@@ -525,6 +576,7 @@ class SuperscalarCore:
         record = self.params.record_retired
         gate_on_check = self.checker is not None
         lsq = self._lsq if self._memdep_on else None
+        tracer = self.tracer
         while window and done < budget:
             op = window[0]
             if gate_on_check:
@@ -541,6 +593,8 @@ class SuperscalarCore:
                 del reg_producer[dest]
             if record:
                 self.retired.append(op)
+            if tracer is not None:
+                tracer.op_retired(op, now)
             done += 1
         self.stats.committed += done
         if done and self._ckpt_on:

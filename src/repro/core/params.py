@@ -218,6 +218,12 @@ class CoreParams:
             way (asserted by the cycle-skip identity tests), so it is on
             by default and excluded from serialized configs unless
             disabled.
+        telemetry_interval: Cycles between interval-telemetry samples
+            (see :class:`~repro.obs.telemetry.IntervalTelemetry`).  0 (the
+            default) disables sampling entirely — the run loop is then the
+            uninstrumented one, with zero per-cycle overhead.  Sampling is
+            read-only: every ``CoreStats`` field is identical at any
+            interval (pinned by the trace-identity tests).
     """
 
     fetch_width: int = 8
@@ -237,11 +243,14 @@ class CoreParams:
     memdep: MemDepParams = field(default_factory=MemDepParams)
     recovery: RecoveryParams = field(default_factory=RecoveryParams)
     cycle_skip: bool = True
+    telemetry_interval: int = 0
 
     def __post_init__(self) -> None:
         for name in ("fetch_width", "issue_width", "commit_width", "window_size"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
+        if self.telemetry_interval < 0:
+            raise ValueError("telemetry_interval must be non-negative")
         if self.wrong_path_depth <= 0:
             raise ValueError("wrong_path_depth must be positive")
         if self.frontend_depth < 0:
@@ -261,10 +270,11 @@ class CoreParams:
         """JSON-serializable snapshot (FU classes by name, checker nested).
 
         ``frontend_depth`` is emitted only when non-zero, ``memdep`` only
-        when enabled, ``recovery`` only when checkpointing is on, and
-        ``cycle_skip`` only when disabled: experiment-result rows embed
-        this dict, and older stores must stay byte-identical when
-        re-generated with the default (legacy) configuration.
+        when enabled, ``recovery`` only when checkpointing is on,
+        ``cycle_skip`` only when disabled, and ``telemetry_interval`` only
+        when sampling is on: experiment-result rows embed this dict, and
+        older stores must stay byte-identical when re-generated with the
+        default (legacy) configuration.
         """
         data = {
             "fetch_width": self.fetch_width,
@@ -289,6 +299,8 @@ class CoreParams:
             data["recovery"] = self.recovery.to_dict()
         if not self.cycle_skip:
             data["cycle_skip"] = False
+        if self.telemetry_interval:
+            data["telemetry_interval"] = self.telemetry_interval
         return data
 
     @classmethod

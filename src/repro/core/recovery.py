@@ -155,6 +155,7 @@ class RecoveryManager:
         "_checkpoints",
         "_next_ckpt_commit",
         "_commit_width",
+        "_hook",
     )
 
     def __init__(self, core: "SuperscalarCore"):
@@ -162,6 +163,10 @@ class RecoveryManager:
         self._stats = core.stats
         self._params = core.params.recovery
         self._commit_width = core.params.commit_width
+        # Observability hook (a PipelineTracer, or None).  Squash paths and
+        # checkpoint creation report through it; None — the default — means
+        # the guarded calls below never fire.
+        self._hook = core.tracer
         interval = self._params.checkpoint_interval
         self._ckpt_on = interval > 0
         self._checkpoints: deque[Checkpoint] = deque(
@@ -204,6 +209,8 @@ class RecoveryManager:
         self._checkpoints.append(Checkpoint(committed_total, now))
         stats = self._stats
         stats.checkpoints_taken += 1
+        if self._hook is not None:
+            self._hook.checkpoint(committed_total, now)
         overhead = self._params.checkpoint_overhead
         if overhead:
             # Shadow-copy creation steals front-end bandwidth: whichever
@@ -251,6 +258,12 @@ class RecoveryManager:
         core = self._core
         core._fetch_stall_until = complete + core.params.mispredict_penalty
         self._stats.recoveries_by_cause[RecoveryCause.BRANCH_MISPREDICT.value] += 1
+        if self._hook is not None:
+            self._hook.recovery(
+                RecoveryCause.BRANCH_MISPREDICT.value,
+                complete,
+                restart_at=core._fetch_stall_until,
+            )
         if core._wp_branch is not None:
             core._wp_resolve_at = complete
             core._wheel.post(complete, EV_BRANCH_RESOLVE, None)
@@ -277,6 +290,7 @@ class RecoveryManager:
         color = core._wp_branch.seq
         window = core._window
         stats = self._stats
+        hook = self._hook
         squashed = 0
         while (
             window
@@ -286,6 +300,8 @@ class RecoveryManager:
             victim = window.pop()
             victim.squashed = True
             squashed += 1
+            if hook is not None:
+                hook.op_squashed(victim, RecoveryCause.BRANCH_MISPREDICT, now)
             if victim.uop.op in UNPIPELINED_OPS:
                 self.release_victim_fu(victim, now)
         stats.wrong_path_squashed += squashed
@@ -324,6 +340,10 @@ class RecoveryManager:
         """
         core = self._core
         stats = self._stats
+        if self._hook is not None:
+            # Before the flag flips below: the hook reads fault_at and
+            # check_complete_at off the still-marked op.
+            self._hook.fault_detected(faulty, now)
         faulty.faulty = False
         faulty.corrected = True
         faulty.checked = True
@@ -340,6 +360,10 @@ class RecoveryManager:
         stall = self._fault_stall_cycles(restart, now)
         stats.recovery_stall_cycles += stall
         core._fetch_stall_until = now + stall
+        if self._hook is not None:
+            self._hook.recovery(
+                RecoveryCause.CHECKER_FAULT.value, now, seq=faulty.seq, stall=stall
+            )
 
     def recover_mem_violation(self, store: "DynOp", load: "DynOp", now: int) -> None:
         """Deliver a posted memory-order violation: train, squash, replay.
@@ -359,6 +383,13 @@ class RecoveryManager:
         stats = self._stats
         stats.mem_order_violations += 1
         stats.recoveries_by_cause[RecoveryCause.MEM_ORDER_VIOLATION.value] += 1
+        if self._hook is not None:
+            self._hook.recovery(
+                RecoveryCause.MEM_ORDER_VIOLATION.value,
+                now,
+                store=store.seq,
+                load=load.seq,
+            )
         core._storesets.train(load.uop.pc, store.uop.pc, now)
         self.squash_younger(load.seq - 1, now, RecoveryCause.MEM_ORDER_VIOLATION)
         if core.checker is not None:
@@ -384,10 +415,13 @@ class RecoveryManager:
         label = cause.value
         by_cause = stats.squashed_by_cause
         window = core._window
+        hook = self._hook
         while window and window[-1].seq > boundary_seq:
             victim = window.pop()
             victim.squashed = True
             by_cause[label] += 1
+            if hook is not None:
+                hook.op_squashed(victim, cause, now)
             if victim.wrong_path:
                 stats.wrong_path_squashed += 1
             else:

@@ -69,7 +69,18 @@ class DeadlockError(RuntimeError):
     pre-kernel guard.  The message names the stuck oldest op and its unmet
     dependencies so a hung configuration is diagnosable from the exception
     alone (sweep error rows carry it verbatim).
+
+    With interval telemetry enabled (``CoreParams.telemetry_interval``)
+    the core also attaches its flight recorder — the last few telemetry
+    samples — as ``samples``, and appends them to the message, so a hang
+    arrives with its own recent history (occupancy, IPC, checker lag).
     """
+
+    def __init__(self, message: str, samples: list[dict] | None = None):
+        super().__init__(message)
+        #: Last telemetry samples before the guard tripped (empty when
+        #: telemetry was off).
+        self.samples: list[dict] = samples or []
 
 
 class EventWheel:

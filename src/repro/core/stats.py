@@ -4,8 +4,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.recovery import RecoveryCause
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
 
 #: Cap on stored detection-latency samples.  ``detection_latency_sum`` and
 #: ``max`` stay exact past the cap; the stored list degrades to a uniform
@@ -244,7 +248,14 @@ class CoreStats:
                 "mean_recovery_stall": self.mean_recovery_stall,
                 "mean_rollback_distance": self.mean_rollback_distance,
                 "max_rollback_distance": self.rollback_distance_max,
-                "rollback_distance_hist": dict(self.rollback_distance_hist),
+                # str() is defensive normalization: the histogram is keyed
+                # by strings at the write site, but an int key slipping in
+                # would make the dict differ from its own json.loads round
+                # trip (pinned by the round-trip test).
+                "rollback_distance_hist": {
+                    str(key): count
+                    for key, count in self.rollback_distance_hist.items()
+                },
                 "recoveries_by_cause": dict(self.recoveries_by_cause),
                 "squashed_by_cause": dict(self.squashed_by_cause),
             }
@@ -283,3 +294,79 @@ class CoreStats:
             **recovery,
             **{f"mem_{key}": value for key, value in self.memory.items()},
         }
+
+    def register_metrics(self, registry: "MetricsRegistry", prefix: str = "core.") -> None:
+        """Register this run's aggregates into a typed metrics registry.
+
+        Scalar totals become counters, derived rates become gauges, and
+        the two distributions (detection latency, rollback distance)
+        become histograms — ``--metrics-out`` then serves one schema for
+        everything instead of each layer's ad-hoc dict.  The memdep and
+        recovery blocks follow the same gating as :meth:`to_dict`.
+        """
+        for name in (
+            "cycles",
+            "fetched",
+            "committed",
+            "squashed",
+            "mem_replays",
+            "replay_slots_used",
+            "branches",
+            "branch_mispredicts",
+            "primary_slots_used",
+            "wrong_path_fetched",
+            "wrong_path_issued",
+            "wrong_path_squashed",
+            "wrong_path_slots_used",
+            "wrong_path_mem_replays",
+            "checks_completed",
+            "checker_slots_used",
+            "faults_injected",
+            "faults_detected",
+            "faults_squashed",
+            "recoveries",
+        ):
+            registry.set_counter(f"{prefix}{name}", getattr(self, name))
+        for name in (
+            "ipc",
+            "slot_steal_rate",
+            "primary_slot_utilization",
+            "wrong_path_slot_rate",
+            "wrong_path_fetch_fraction",
+            "mispredict_rate",
+            "mean_detection_latency",
+        ):
+            registry.set_gauge(f"{prefix}{name}", getattr(self, name))
+        if self.detection_latencies:
+            hist = registry.histogram(
+                f"{prefix}detection_latency",
+                "cycles from fault activation to checker detection",
+            )
+            for latency in self.detection_latencies:
+                hist.observe(latency)
+        if self.memdep_enabled:
+            for name in (
+                "mem_order_violations",
+                "loads_forwarded",
+                "loads_delayed",
+                "lsq_full_stalls",
+            ):
+                registry.set_counter(f"{prefix}{name}", getattr(self, name))
+        if self.checkpointing_enabled:
+            for name in (
+                "checkpoints_taken",
+                "checkpoint_overhead_cycles",
+                "recovery_stall_cycles",
+                "rollback_distance_sum",
+            ):
+                registry.set_counter(f"{prefix}{name}", getattr(self, name))
+            hist = registry.histogram(
+                f"{prefix}rollback_distance",
+                "instructions replayed from checkpoint per fault recovery",
+            )
+            for label, count in self.rollback_distance_hist.items():
+                hist.record_bucket(label, count)
+            for cause, count in self.recoveries_by_cause.items():
+                registry.set_counter(f"{prefix}recoveries_by_cause.{cause}", count)
+            for cause, count in self.squashed_by_cause.items():
+                registry.set_counter(f"{prefix}squashed_by_cause.{cause}", count)

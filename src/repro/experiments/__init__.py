@@ -22,6 +22,7 @@ single run.  This package turns the simulator into an experiment platform:
 
 from repro.experiments.report import (
     aggregate,
+    register_metrics,
     render_text,
     write_bench_json,
     write_csv_tables,
@@ -39,6 +40,7 @@ __all__ = [
     "canonical_json",
     "config_hash",
     "execute_point",
+    "register_metrics",
     "render_text",
     "run_sweep",
     "write_bench_json",

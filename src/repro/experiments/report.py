@@ -25,9 +25,12 @@ import csv
 import json
 import statistics
 from pathlib import Path
-from typing import Any, Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 from repro.experiments.spec import SCHEMA_VERSION, config_hash
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
 
 #: metric name -> extractor over one ok-row's ``result`` dict.
 _METRICS: dict[str, Callable[[Mapping[str, Any]], float | None]] = {
@@ -225,6 +228,36 @@ def _latency_table(groups: Sequence[Mapping[str, Any]]) -> list[dict[str, Any]]:
             }
         )
     return table
+
+
+def register_metrics(
+    aggregated: Mapping[str, Any],
+    registry: "MetricsRegistry",
+    prefix: str = "report.",
+) -> None:
+    """Register the aggregate's headline numbers into a metrics registry.
+
+    Top-level row/group counts become counters; each configuration group
+    contributes gauges for its mean slowdown, IPCs, slot steal, and fault
+    coverage.  Group names are ``<preset>.<group_hash[:8]>`` — readable
+    but still collision-free across otherwise-identical presets.
+    """
+    registry.set_counter(f"{prefix}rows", aggregated["n_rows"])
+    registry.set_counter(f"{prefix}groups", aggregated["n_groups"])
+    for group in aggregated["groups"]:
+        config = group["config"]
+        label = f"{config.get('preset', 'unknown')}.{group['group_hash'][:8]}"
+        metrics = group["metrics"]
+        for name in (
+            "slowdown",
+            "unchecked_ipc",
+            "checked_ipc",
+            "slot_steal_rate",
+            "fault_coverage",
+        ):
+            registry.set_gauge(f"{prefix}{label}.{name}", metrics[name]["mean"])
+        dist = group["detection_latency"]
+        registry.set_gauge(f"{prefix}{label}.detection_latency_p90", dist["p90"])
 
 
 # --------------------------------------------------------------- rendering

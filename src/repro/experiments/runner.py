@@ -21,16 +21,21 @@ from __future__ import annotations
 
 import functools
 import multiprocessing
+import os
 import signal
 import threading
 import time
 import traceback
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
 
 from repro.experiments.spec import RunPoint, SCHEMA_VERSION, config_hash
 from repro.experiments.store import ResultsStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.spans import SpanCollector
 
 #: Progress callback: (completed count, pending total, the row just stored).
 ProgressFn = Callable[[int, int, dict], None]
@@ -40,6 +45,12 @@ ProgressFn = Callable[[int, int, dict], None]
 #: pure function of the config (byte-identical across machines and worker
 #: counts), and wall time is neither.
 ELAPSED_KEY = "_elapsed_s"
+
+#: More transport-only keys (same contract as :data:`ELAPSED_KEY`): the
+#: wall-clock start of the point and the worker process that ran it, which
+#: become runner spans in the parent when span collection is on.
+STARTED_KEY = "_started_at"
+WORKER_KEY = "_worker"
 
 
 @dataclass(slots=True)
@@ -115,6 +126,8 @@ def execute_point(
         "schema": SCHEMA_VERSION,
         "config_hash": config_hash(config),
         "config": config,
+        STARTED_KEY: time.time(),
+        WORKER_KEY: os.getpid(),
     }
     started = time.perf_counter()
     try:
@@ -181,6 +194,8 @@ def run_sweep(
     workers: int = 1,
     progress: ProgressFn | None = None,
     timeout_s: float | None = None,
+    spans: "SpanCollector | None" = None,
+    registry: "MetricsRegistry | None" = None,
 ) -> SweepSummary:
     """Execute every not-yet-stored point of ``spec`` into ``store``.
 
@@ -188,6 +203,11 @@ def run_sweep(
     ``timeout_s`` field; both None disables the bound).  Per-point wall
     times are surfaced through the progress callback (the popped
     ``_elapsed_s``) and aggregated into the summary, never stored.
+
+    ``spans`` collects one wall-clock span per executed point (worker,
+    start, duration — the runner half of ``--trace-out``); ``registry``
+    receives the summary counters under ``sweep.``.  Both are observers:
+    the stored rows are byte-identical with or without them.
     """
     if timeout_s is None:
         timeout_s = getattr(spec, "timeout_s", None)
@@ -200,16 +220,29 @@ def run_sweep(
     started = time.perf_counter()
     for row in _result_rows(configs, workers, timeout_s):
         elapsed = row.pop(ELAPSED_KEY, 0.0)
+        started_at = row.pop(STARTED_KEY, None)
+        worker = row.pop(WORKER_KEY, 0)
         slowest = max(slowest, elapsed)
         store.append(row)
         executed += 1
         if row.get("status") != "ok":
             errors += 1
+        if spans is not None and started_at is not None:
+            config = row.get("config", {})
+            spans.record(
+                f"{config.get('preset', '?')} seed={config.get('seed')}",
+                started_at,
+                elapsed,
+                worker,
+                status=row.get("status"),
+                fault_rate=config.get("fault_rate"),
+                config_hash=str(row.get("config_hash", ""))[:12],
+            )
         if progress is not None:
             row["_elapsed_s"] = elapsed  # callback-visible, already un-stored
             progress(executed, len(configs), row)
             del row["_elapsed_s"]
-    return SweepSummary(
+    summary = SweepSummary(
         total=len(points),
         cached=cached,
         executed=executed,
@@ -217,6 +250,12 @@ def run_sweep(
         wall_seconds=round(time.perf_counter() - started, 3),
         slowest_point_s=slowest,
     )
+    if registry is not None:
+        for name in ("total", "cached", "executed", "errors"):
+            registry.set_counter(f"sweep.{name}", getattr(summary, name))
+        registry.set_gauge("sweep.wall_seconds", summary.wall_seconds)
+        registry.set_gauge("sweep.slowest_point_s", summary.slowest_point_s)
+    return summary
 
 
 def _result_rows(

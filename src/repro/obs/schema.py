@@ -1,0 +1,77 @@
+"""Minimal JSON-Schema-subset validator (no third-party dependencies).
+
+The repo cannot take a ``jsonschema`` dependency, so the trace schema
+checked into ``tests/`` is validated with this hand-rolled subset:
+
+* ``type`` — a name or list of names from ``object``, ``array``,
+  ``string``, ``integer``, ``number``, ``boolean``, ``null``;
+* ``properties`` / ``required`` / ``additionalProperties`` (boolean form)
+  for objects;
+* ``items`` (single-schema form) for arrays;
+* ``enum``, ``minimum``, ``const``.
+
+Anything else in a schema is deliberately ignored, so schemas stay
+forward-compatible with real validators — the checked-in schema is valid
+JSON Schema draft 2020-12 and can be used with ``jsonschema`` elsewhere.
+
+:func:`validate` returns a list of human-readable errors (empty = valid),
+each prefixed with the JSON path of the offending value.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is an int subclass in Python; JSON Schema treats them as distinct.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def validate(instance: Any, schema: dict[str, Any], path: str = "$") -> list[str]:
+    """Validate ``instance`` against the supported schema subset.
+
+    Returns:
+        Error strings (empty when the instance validates).
+    """
+    errors: list[str] = []
+    declared = schema.get("type")
+    if declared is not None:
+        names = declared if isinstance(declared, list) else [declared]
+        if not any(_TYPE_CHECKS[name](instance) for name in names):
+            errors.append(
+                f"{path}: expected type {'/'.join(names)}, "
+                f"got {type(instance).__name__}"
+            )
+            return errors  # structural checks below assume the type matched
+    if "const" in schema and instance != schema["const"]:
+        errors.append(f"{path}: expected const {schema['const']!r}, got {instance!r}")
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not in enum {schema['enum']!r}")
+    if "minimum" in schema and isinstance(instance, (int, float)) and not isinstance(instance, bool):
+        if instance < schema["minimum"]:
+            errors.append(f"{path}: {instance!r} below minimum {schema['minimum']!r}")
+    if isinstance(instance, dict):
+        for key in schema.get("required", ()):
+            if key not in instance:
+                errors.append(f"{path}: missing required property {key!r}")
+        properties = schema.get("properties", {})
+        for key, subschema in properties.items():
+            if key in instance:
+                errors.extend(validate(instance[key], subschema, f"{path}.{key}"))
+        if schema.get("additionalProperties") is False:
+            for key in instance:
+                if key not in properties:
+                    errors.append(f"{path}: unexpected property {key!r}")
+    if isinstance(instance, list):
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for index, item in enumerate(instance):
+                errors.extend(validate(item, items, f"{path}[{index}]"))
+    return errors

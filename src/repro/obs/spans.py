@@ -1,0 +1,85 @@
+"""Runner spans: per-point timing from ``run_sweep`` in trace format.
+
+The sweep runner records one span per executed point (and one per cache
+hit, zero-width) with the worker process that ran it.  Spans serialize to
+the same Chrome ``trace_event`` JSON as the core tracer — one timestamp
+unit = one **microsecond** of wall clock here — so a whole sweep profiles
+as one timeline: each worker is a lane, each point a slice, and stragglers
+are visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: pid under which sweep spans are emitted (core traces use small pids).
+_SWEEP_PID = 100
+
+
+class SpanCollector:
+    """Wall-clock spans for one ``run_sweep`` call."""
+
+    __slots__ = ("label", "spans", "_t0")
+
+    def __init__(self, label: str = "sweep"):
+        self.label = label
+        #: ``(name, started_at, elapsed_s, worker, args)`` in completion order.
+        self.spans: list[tuple[str, float, float, int, dict[str, Any]]] = []
+        # Wall-clock origin: timestamps are emitted relative to the first
+        # span's start so the timeline begins at ~0 regardless of epoch.
+        self._t0: float | None = None
+
+    def record(
+        self,
+        name: str,
+        started_at: float,
+        elapsed_s: float,
+        worker: int,
+        **args: Any,
+    ) -> None:
+        """Record one completed span (``started_at`` is ``time.time()``)."""
+        if self._t0 is None or started_at < self._t0:
+            self._t0 = started_at
+        self.spans.append((name, started_at, elapsed_s, worker, dict(args)))
+
+    def trace_events(self, pid: int = _SWEEP_PID) -> list[dict[str, Any]]:
+        """Chrome ``trace_event`` dicts, one lane (tid) per worker process."""
+        events: list[dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": self.label},
+            }
+        ]
+        t0 = self._t0 if self._t0 is not None else 0.0
+        # Stable worker → lane mapping in order of first appearance.
+        lanes: dict[int, int] = {}
+        for _, _, _, worker, _ in self.spans:
+            if worker not in lanes:
+                lane = len(lanes)
+                lanes[worker] = lane
+                events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": pid,
+                        "tid": lane,
+                        "args": {"name": f"worker[{lane}] pid={worker}"},
+                    }
+                )
+        for name, started_at, elapsed_s, worker, args in self.spans:
+            events.append(
+                {
+                    "name": name,
+                    "cat": "sweep",
+                    "ph": "X",
+                    "ts": round((started_at - t0) * 1e6),
+                    "dur": round(elapsed_s * 1e6),
+                    "pid": pid,
+                    "tid": lanes[worker],
+                    "args": args,
+                }
+            )
+        return events

@@ -1,0 +1,52 @@
+"""CLI: validate a trace/metrics JSON file against a JSON schema.
+
+Usage::
+
+    python -m repro.obs.validate TRACE.json SCHEMA.json
+
+Exit status 0 when the document validates, 1 with one error per line
+otherwise.  Used by the CI ``obs-smoke`` job to check emitted traces
+against ``tests/trace_event.schema.json`` without a jsonschema
+dependency.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.schema import validate
+
+#: Cap on errors printed — a malformed trace has one error per event.
+_MAX_ERRORS = 20
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.validate",
+        description="Validate a JSON document against a JSON-schema subset.",
+    )
+    parser.add_argument("document", type=Path, help="JSON file to validate")
+    parser.add_argument("schema", type=Path, help="JSON schema file")
+    args = parser.parse_args(argv)
+
+    document = json.loads(args.document.read_text(encoding="utf-8"))
+    schema = json.loads(args.schema.read_text(encoding="utf-8"))
+    errors = validate(document, schema)
+    if errors:
+        for error in errors[:_MAX_ERRORS]:
+            print(error, file=sys.stderr)
+        if len(errors) > _MAX_ERRORS:
+            print(f"... and {len(errors) - _MAX_ERRORS} more", file=sys.stderr)
+        print(f"FAIL: {args.document} has {len(errors)} schema violations")
+        return 1
+    events = document.get("traceEvents")
+    detail = f" ({len(events)} trace events)" if isinstance(events, list) else ""
+    print(f"OK: {args.document} validates against {args.schema}{detail}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in CI
+    raise SystemExit(main())

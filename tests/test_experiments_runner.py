@@ -71,14 +71,19 @@ def test_error_rows_isolate_crashes_and_are_retried(tmp_path):
 
 
 def test_execute_point_rows_are_deterministic():
-    """Everything but the transport-only wall time is a pure function of
-    the config — the property that makes stores byte-identical."""
-    from repro.experiments.runner import ELAPSED_KEY
+    """Everything but the transport-only keys (wall times, worker pid) is a
+    pure function of the config — the property that makes stores
+    byte-identical."""
+    import os
+
+    from repro.experiments.runner import ELAPSED_KEY, STARTED_KEY, WORKER_KEY
 
     first = execute_point(SPEC.points()[0].config())
     second = execute_point(SPEC.points()[0].config())
-    assert first.pop(ELAPSED_KEY) > 0.0
-    assert second.pop(ELAPSED_KEY) > 0.0
+    for row in (first, second):
+        assert row.pop(ELAPSED_KEY) > 0.0
+        assert row.pop(STARTED_KEY) > 0.0
+        assert row.pop(WORKER_KEY) == os.getpid()
     assert first == second
 
 

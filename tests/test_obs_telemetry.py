@@ -1,0 +1,129 @@
+"""Interval telemetry: exact reconciliation with the final CoreStats.
+
+The telemetry contract is *delta* sampling: each sample holds the change
+in every tracked counter since the previous sample, plus a final flush at
+run end — so the column sums equal the end-of-run aggregates exactly, not
+approximately.
+"""
+
+import json
+
+import pytest
+
+from repro.core.params import CheckerParams, CoreParams, MemDepParams, RecoveryParams
+from repro.core.core import SuperscalarCore
+from repro.core.sched import DeadlockError
+from repro.obs.telemetry import (
+    COUNTER_FIELDS,
+    TELEMETRY_SCHEMA_VERSION,
+    IntervalTelemetry,
+    render_table,
+)
+from repro.workloads import PRESETS, generate
+
+
+def _run_with_telemetry(interval: int, preset: str = "branchy", num_ops: int = 3000):
+    params = CoreParams(
+        telemetry_interval=interval,
+        checker=CheckerParams(enabled=True, fault_rate=1e-3, fault_seed=1),
+        memdep=MemDepParams(enabled=True),
+        recovery=RecoveryParams(checkpoint_interval=64),
+    )
+    core = SuperscalarCore(params)
+    stats = core.run(generate(PRESETS[preset], num_ops, seed=0))
+    assert core.telemetry is not None
+    return core, stats
+
+
+@pytest.mark.parametrize("interval", [64, 333, 1000, 10_000_000])
+def test_counter_deltas_sum_exactly_to_final_stats(interval):
+    core, stats = _run_with_telemetry(interval)
+    totals = core.telemetry.totals()
+    for name in COUNTER_FIELDS:
+        assert totals[name] == getattr(stats, name), name
+    # The sampled cycle spans tile the whole run: no gap, no overlap.
+    assert sum(row["cycles"] for row in core.telemetry.samples) == stats.cycles
+
+
+def test_samples_are_monotonic_and_aligned():
+    core, stats = _run_with_telemetry(250)
+    samples = core.telemetry.samples
+    cycles = [row["cycle"] for row in samples]
+    assert cycles == sorted(cycles)
+    assert len(set(cycles)) == len(cycles)
+    # Each sample crosses at least one interval boundary (cycle skipping
+    # may overshoot a boundary, or span several in one sample).
+    previous = 0
+    for row in samples[:-1]:
+        assert row["cycle"] // 250 > previous // 250
+        previous = row["cycle"]
+    assert samples[-1]["cycle"] == stats.cycles
+
+
+def test_gauges_and_rates_present():
+    core, _ = _run_with_telemetry(200)
+    for row in core.telemetry.samples:
+        assert row["window_occupancy"] >= 0
+        assert row["lsq_occupancy"] >= 0
+        assert row["checker_lag"] >= 0
+        assert row["ipc"] >= 0.0
+        assert 0.0 <= row["slot_steal_rate"] <= 1.0
+    # The machine drained by run end.
+    assert core.telemetry.samples[-1]["window_occupancy"] == 0
+
+
+def test_single_giant_interval_degenerates_to_one_flush_sample():
+    core, stats = _run_with_telemetry(10_000_000)
+    samples = core.telemetry.samples
+    assert len(samples) == 1
+    assert samples[0]["cycle"] == stats.cycles
+    assert samples[0]["committed"] == stats.committed
+
+
+def test_write_jsonl_header_then_samples(tmp_path):
+    core, _ = _run_with_telemetry(500)
+    path = core.telemetry.write_jsonl(tmp_path / "tel.jsonl", "checked")
+    lines = path.read_text(encoding="utf-8").splitlines()
+    header = json.loads(lines[0])
+    assert header["schema"] == TELEMETRY_SCHEMA_VERSION
+    assert header["kind"] == "telemetry"
+    assert header["label"] == "checked"
+    assert header["interval"] == 500
+    assert header["samples"] == len(lines) - 1
+    assert [json.loads(line) for line in lines[1:]] == core.telemetry.samples
+
+
+def test_counter_events_track_per_sample_gauges():
+    core, _ = _run_with_telemetry(500)
+    events = core.telemetry.counter_events(pid=3)
+    assert len(events) == 5 * len(core.telemetry.samples)
+    assert all(event["ph"] == "C" and event["pid"] == 3 for event in events)
+
+
+def test_render_table_has_a_row_per_sample():
+    core, _ = _run_with_telemetry(500)
+    table = render_table(core.telemetry.samples, "checked")
+    # Title + header + rule + one line per sample.
+    assert len(table.splitlines()) == 3 + len(core.telemetry.samples)
+    assert "telemetry[checked]" in table
+    assert render_table([], "x") == "telemetry[x]: (no samples)"
+
+
+def test_interval_must_be_positive():
+    core = SuperscalarCore(CoreParams())
+    with pytest.raises(ValueError):
+        IntervalTelemetry(0, core)
+
+
+def test_telemetry_off_leaves_core_uninstrumented():
+    core = SuperscalarCore(CoreParams())
+    core.run(generate(PRESETS["int-heavy"], 300, seed=0))
+    assert core.telemetry is None
+
+
+def test_deadlock_error_carries_flight_recorder_samples():
+    plain = DeadlockError("stuck")
+    assert plain.samples == []
+    samples = [{"cycle": 100, "committed": 0}]
+    loaded = DeadlockError("stuck", samples=samples)
+    assert loaded.samples == samples
