@@ -27,6 +27,7 @@ CI therefore gates on a deliberately loose absolute floor
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 from typing import Any
@@ -55,9 +56,11 @@ HEADLINE_CONFIG = "big-core"
 #: and a banked D-cache — the timing cost of those paths; ``checkpoint``
 #: is the paper's machine with verified-state checkpointing on, timing the
 #: checkpoint/rollback paths in the recovery subsystem; ``ci-smoke`` is
-#: a short big-core run for CI.  Entries default to the branchy preset, no
-#: memdep, one bank, zero alias fraction, and no checkpointing when the
-#: keys are absent.
+#: a short big-core run for CI; ``sharded`` compares the time-sharded
+#: parallel fast mode (``--shards``) against the monolithic run on the
+#: big-core shape — wall-clock speedup, merged-stat error, and fault
+#: coverage.  Entries default to the branchy preset, no memdep, one bank,
+#: zero alias fraction, and no checkpointing when the keys are absent.
 BENCH_CONFIGS: dict[str, dict[str, Any]] = {
     "table1": {"ops": 100_000, "window_size": 128, "wrong_path_depth": 64},
     "big-core": {"ops": 100_000, "window_size": 1024, "wrong_path_depth": 512},
@@ -78,7 +81,26 @@ BENCH_CONFIGS: dict[str, dict[str, Any]] = {
         "checkpoint_overhead": 1,
     },
     "ci-smoke": {"ops": 20_000, "window_size": 1024, "wrong_path_depth": 512},
+    "sharded": {
+        "ops": 100_000,
+        "window_size": 1024,
+        "wrong_path_depth": 512,
+        "shards": 4,
+        "shard_warmup": 5_000,
+    },
 }
+
+#: Max merged-IPC error (either mode) the sharded fast mode may show
+#: against the monolithic run on the ``sharded`` bench config.  The
+#: comparison runs fault-free: rate-based fault arrival is schedule-
+#: dependent pseudo-randomness a shard cannot (and should not) replay, so
+#: its recovery cost is excluded from the accuracy gate; fault *detection*
+#: is gated separately (every injected fault must still be caught).
+SHARDED_IPC_TOLERANCE = 0.01
+
+#: Wall-clock speedup ``--shards 4`` must achieve over ``--shards 1`` —
+#: enforced only when the host actually has that many CPUs.
+SHARDED_MIN_SPEEDUP = 2.5
 
 
 def load_reference(path: str | Path = DEFAULT_REFERENCE) -> dict[str, Any] | None:
@@ -100,6 +122,135 @@ def _time_run(
         elapsed = time.perf_counter() - started
         best = elapsed if best is None else min(best, elapsed)
     return best, stats
+
+
+def _run_sharded_bench(
+    shape: dict[str, Any], seed: int, fault_rate: float, repeats: int
+) -> dict[str, Any]:
+    """The ``sharded`` config: monolithic vs ``--shards 1`` vs ``--shards N``.
+
+    Three claims per run, mirroring the kernel bench's structure:
+
+    * **Identity** — ``--shards 1`` must reproduce the monolithic result
+      dict byte-for-byte (it flows through the merge layer, so this pins
+      the single-part merge as an exact identity);
+    * **Accuracy** — the N-shard merged IPC must be within
+      :data:`SHARDED_IPC_TOLERANCE` of the monolithic run in both modes,
+      measured fault-free (see the tolerance's docstring for why);
+    * **Detection** — with faults on, every injected fault must still be
+      detected (coverage 1.0), and the wall-clock speedup over
+      ``--shards 1`` must clear :data:`SHARDED_MIN_SPEEDUP` when the host
+      has at least N CPUs.
+    """
+    from repro.cli import run_experiment
+    from repro.parallel import run_sharded_experiment
+
+    ops = shape["ops"]
+    shards = shape["shards"]
+    warmup = shape["shard_warmup"]
+    profile = PRESETS[shape.get("preset", "branchy")]
+    params = CoreParams(
+        window_size=shape["window_size"],
+        wrong_path_depth=shape["wrong_path_depth"],
+    )
+    common: dict[str, Any] = dict(
+        num_ops=ops,
+        seed=seed,
+        check=True,
+        wrong_path=True,
+        wrong_path_depth=shape["wrong_path_depth"],
+        params=params,
+    )
+    mono = run_experiment(profile, fault_rate=0.0, **common)
+
+    def timed(n_shards: int, n_warmup: int) -> tuple[float, dict[str, Any]]:
+        best = None
+        result: dict[str, Any] = {}
+        for _ in range(max(1, repeats)):
+            started = time.perf_counter()
+            result = run_sharded_experiment(
+                profile, shards=n_shards, warmup=n_warmup, fault_rate=0.0, **common
+            )
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+        return best, result
+
+    wall_1, shards_1 = timed(1, 0)
+    wall_n, shards_n = timed(shards, warmup)
+    coverage_run = run_sharded_experiment(
+        profile, shards=shards, warmup=warmup, fault_rate=fault_rate, **common
+    )
+
+    def ipc_error(mode: str) -> float:
+        return abs(shards_n[mode]["ipc"] - mono[mode]["ipc"]) / mono[mode]["ipc"]
+
+    error_unchecked = ipc_error("unchecked")
+    error_checked = ipc_error("checked")
+    host_cpus = os.cpu_count() or 1
+    entry: dict[str, Any] = dict(shape)
+    entry["host_cpus"] = host_cpus
+    entry["ipc_tolerance"] = SHARDED_IPC_TOLERANCE
+    entry["min_speedup"] = SHARDED_MIN_SPEEDUP
+    entry["speedup_gated"] = host_cpus >= shards
+    entry["monolithic"] = {
+        "ipc_unchecked": round(mono["unchecked"]["ipc"], 4),
+        "ipc_checked": round(mono["checked"]["ipc"], 4),
+    }
+    entry["shards1"] = {
+        "wall_s": round(wall_1, 4),
+        "stats_identical": json.dumps(shards_1, sort_keys=True)
+        == json.dumps(mono, sort_keys=True),
+    }
+    entry["sharded"] = {
+        "wall_s": round(wall_n, 4),
+        "speedup_vs_shards1": round(wall_1 / wall_n, 2),
+        "ipc_unchecked": round(shards_n["unchecked"]["ipc"], 4),
+        "ipc_checked": round(shards_n["checked"]["ipc"], 4),
+        "ipc_error_unchecked": round(error_unchecked, 6),
+        "ipc_error_checked": round(error_checked, 6),
+        "ipc_error_max": round(max(error_unchecked, error_checked), 6),
+        "fault_coverage": coverage_run["fault_coverage"],
+        "faults_injected": coverage_run["checked"]["faults_injected"],
+        "faults_detected": coverage_run["checked"]["faults_detected"],
+    }
+    return entry
+
+
+def sharded_gate_failures(report: dict[str, Any]) -> list[str]:
+    """CI gate messages for sharded comparison entries (empty = pass).
+
+    The ``--shards 1`` identity gate rides ``all_stats_identical``; this
+    checks the explicitly-approximate claims: merged-IPC error within the
+    committed tolerance, no lost fault detections, and — only on hosts
+    with enough CPUs to make it meaningful — the wall-clock speedup floor.
+    """
+    failures: list[str] = []
+    for name, entry in report.get("configs", {}).items():
+        block = entry.get("sharded")
+        if not isinstance(block, dict):
+            continue
+        tolerance = entry.get("ipc_tolerance", SHARDED_IPC_TOLERANCE)
+        if block["ipc_error_max"] > tolerance:
+            failures.append(
+                f"[{name}] merged-IPC error {block['ipc_error_max']:.4%} vs the "
+                f"monolithic run exceeds the {tolerance:.0%} tolerance"
+            )
+        coverage = block.get("fault_coverage")
+        if coverage is not None and coverage < 1.0:
+            failures.append(
+                f"[{name}] sharded run lost fault detections "
+                f"(coverage {coverage:.1%}: {block['faults_detected']} of "
+                f"{block['faults_injected']} injected)"
+            )
+        if entry.get("speedup_gated") and block["speedup_vs_shards1"] < entry.get(
+            "min_speedup", SHARDED_MIN_SPEEDUP
+        ):
+            failures.append(
+                f"[{name}] sharded speedup {block['speedup_vs_shards1']:.2f}x over "
+                f"--shards 1 is below the {entry['min_speedup']:.1f}x floor on a "
+                f"{entry['host_cpus']}-cpu host"
+            )
+    return failures
 
 
 def run_bench(
@@ -133,6 +284,11 @@ def run_bench(
         shape = dict(BENCH_CONFIGS[name])
         if ops_override is not None:
             shape["ops"] = ops_override
+        if "shards" in shape:
+            report["configs"][name] = _run_sharded_bench(
+                shape, seed, fault_rate, repeats
+            )
+            continue
         ops = shape["ops"]
         profile = PRESETS[shape.get("preset", "branchy")]
         alias_fraction = shape.get("store_alias_fraction", 0.0)
@@ -213,6 +369,10 @@ def run_bench(
         for entry in report["configs"].values()
         for mode_report in (entry.get("unchecked"), entry.get("checked"))
         if isinstance(mode_report, dict)
+    ) and all(
+        entry["shards1"]["stats_identical"]
+        for entry in report["configs"].values()
+        if isinstance(entry.get("shards1"), dict)
     )
     return report
 
@@ -224,6 +384,31 @@ def format_bench(report: dict[str, Any]) -> str:
         f"repeats={report['repeats']} (best-of)",
     ]
     for name, entry in report["configs"].items():
+        if isinstance(entry.get("sharded"), dict):
+            block = entry["sharded"]
+            identical = (
+                "identical" if entry["shards1"]["stats_identical"] else "DIVERGED"
+            )
+            lines.append(
+                f"  [{name}] ops={entry['ops']} window={entry['window_size']} "
+                f"wrong-path-depth={entry['wrong_path_depth']} "
+                f"shards={entry['shards']} warmup={entry['shard_warmup']}"
+            )
+            lines.append(
+                f"    shards=1  {entry['shards1']['wall_s']:7.3f}s  "
+                f"(stats {identical} to monolithic)"
+            )
+            gate = "" if entry.get("speedup_gated") else (
+                f" [speedup ungated: {entry['host_cpus']} cpu(s)]"
+            )
+            lines.append(
+                f"    shards={entry['shards']}  {block['wall_s']:7.3f}s  "
+                f"{block['speedup_vs_shards1']:.2f}x vs shards=1  "
+                f"IPC err {block['ipc_error_max']:.3%} "
+                f"(tol {entry['ipc_tolerance']:.0%})  "
+                f"coverage {block['fault_coverage']:.0%}{gate}"
+            )
+            continue
         detail = (
             f"  [{name}] ops={entry['ops']} window={entry['window_size']} "
             f"wrong-path-depth={entry['wrong_path_depth']}"

@@ -249,6 +249,14 @@ def format_report(result: dict) -> str:
         lines.append(
             f"  slowdown:  {slowdown:.3f}x" if slowdown is not None else "  slowdown:  n/a"
         )
+    if "sharding" in result:
+        sharding = result["sharding"]
+        lines.append(
+            f"  sharding:  {sharding['shards']} shards  "
+            f"warmup {sharding['warmup_ops']} ops/shard  "
+            f"workers {sharding['workers']}/{sharding['host_cpus']} cpus  "
+            f"wall {sharding['wall_s']:.2f}s  (approximate merge)"
+        )
     return "\n".join(lines)
 
 
@@ -355,6 +363,41 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="CYCLES",
         help="fetch-stall cycles charged per checkpoint creation",
     )
+    parallel_group = parser.add_argument_group(
+        "parallel simulation",
+        "time-shard one run across worker processes; --shards 1 (the "
+        "default) is the exact monolithic path",
+    )
+    parallel_group.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "split the op budget into N contiguous windows simulated in "
+            "parallel processes and merge the stats; N > 1 is an explicitly "
+            "approximate fast mode (cold shard boundaries are absorbed by a "
+            "discarded per-shard warm-up)"
+        ),
+    )
+    parallel_group.add_argument(
+        "--shard-warmup",
+        type=int,
+        default=None,
+        metavar="OPS",
+        help=(
+            "warm-up ops each shard after the first simulates and discards "
+            "before its measured window (default 5000; only meaningful "
+            "with --shards > 1)"
+        ),
+    )
+    parallel_group.add_argument(
+        "--shard-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for sharded runs (default: one per shard)",
+    )
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
     parser.add_argument(
         "--json-out",
@@ -407,6 +450,33 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="write the typed metrics registry (counters/gauges/histograms) as JSON",
     )
+    obs_group.add_argument(
+        "--trace-ops",
+        default=None,
+        metavar="LO:HI",
+        help=(
+            "only trace ops whose sequence number falls in [LO, HI) — "
+            "wrong-path work follows its spawning branch's seq; either "
+            "bound may be omitted (requires --trace-out or --op-trace-out)"
+        ),
+    )
+
+
+def _parse_trace_ops(
+    text: str, parser: argparse.ArgumentParser
+) -> tuple[int, int]:
+    """``"LO:HI"`` (either side optional) -> a half-open seq window."""
+    lo_text, sep, hi_text = text.partition(":")
+    if not sep:
+        parser.error(f"--trace-ops wants LO:HI, got {text!r}")
+    try:
+        lo = int(lo_text) if lo_text else 0
+        hi = int(hi_text) if hi_text else 2**63
+    except ValueError:
+        parser.error(f"--trace-ops bounds must be integers, got {text!r}")
+    if lo < 0 or hi <= lo:
+        parser.error(f"--trace-ops wants 0 <= LO < HI, got {text!r}")
+    return lo, hi
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -517,8 +587,18 @@ def build_parser() -> argparse.ArgumentParser:
             "window), big-core (1024-entry window, deep wrong paths), "
             "memdep (memory-bound aliasing workload with store sets and a "
             "banked D-cache), checkpoint (table1 shape with verified-state "
-            "checkpointing on), ci-smoke (short big-core run), or all "
-            "full-length configs"
+            "checkpointing on), ci-smoke (short big-core run), sharded "
+            "(time-sharded parallel fast mode vs the monolithic run), or "
+            "all full-length configs"
+        ),
+    )
+    bench_parser.add_argument(
+        "--configs",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help=(
+            "comma-separated subset of bench configs to run (overrides "
+            "--config); e.g. --configs table1,sharded"
         ),
     )
     bench_parser.add_argument("--seed", type=int, default=0, help="workload RNG seed")
@@ -589,6 +669,22 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         )
     if args.telemetry_out and not args.telemetry_interval:
         parser.error("--telemetry-out requires --telemetry-interval")
+    if args.shards < 1:
+        parser.error(f"--shards must be at least 1, got {args.shards}")
+    if args.shard_warmup is not None and args.shard_warmup < 0:
+        parser.error(f"--shard-warmup must be non-negative, got {args.shard_warmup}")
+    if args.shard_workers is not None and args.shard_workers < 1:
+        parser.error(f"--shard-workers must be at least 1, got {args.shard_workers}")
+    if args.shards > 1 and args.telemetry_interval:
+        parser.error(
+            "--telemetry-interval needs one continuous run; it cannot be "
+            "combined with --shards > 1"
+        )
+    trace_ops = None
+    if args.trace_ops is not None:
+        if not (args.trace_out or args.op_trace_out):
+            parser.error("--trace-ops requires --trace-out or --op-trace-out")
+        trace_ops = _parse_trace_ops(args.trace_ops, parser)
     obs_requested = bool(
         args.trace_out
         or args.op_trace_out
@@ -620,28 +716,59 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
             telemetry_interval=args.telemetry_interval,
             telemetry_out=args.telemetry_out,
             metrics_out=args.metrics_out,
+            trace_ops=trace_ops,
         )
         if obs_requested
         else None
     )
     names = list(PRESET_NAMES) if args.all_presets else [args.preset]
-    results = [
-        run_experiment(
-            PRESETS[name],
-            num_ops=args.ops,
-            seed=args.seed,
-            check=args.check,
-            fault_rate=args.fault_rate,
-            real_predictor=args.real_predictor,
-            wrong_path=not args.no_wrong_path,
-            wrong_path_depth=args.wrong_path_depth,
-            params=base_params,
-            dcache_banks=args.dcache_banks,
-            store_alias_fraction=args.store_alias_fraction,
-            obs=obs,
-        )
-        for name in names
-    ]
+    if args.shards > 1:
+        # Deferred: repro.parallel pulls in the sweep runner, which
+        # imports this module.
+        from repro.parallel import DEFAULT_SHARD_WARMUP, run_sharded_experiment
+
+        results = [
+            run_sharded_experiment(
+                PRESETS[name],
+                num_ops=args.ops,
+                seed=args.seed,
+                shards=args.shards,
+                warmup=(
+                    args.shard_warmup
+                    if args.shard_warmup is not None
+                    else DEFAULT_SHARD_WARMUP
+                ),
+                check=args.check,
+                fault_rate=args.fault_rate,
+                real_predictor=args.real_predictor,
+                wrong_path=not args.no_wrong_path,
+                wrong_path_depth=args.wrong_path_depth,
+                params=base_params,
+                dcache_banks=args.dcache_banks,
+                store_alias_fraction=args.store_alias_fraction,
+                workers=args.shard_workers,
+                obs=obs,
+            )
+            for name in names
+        ]
+    else:
+        results = [
+            run_experiment(
+                PRESETS[name],
+                num_ops=args.ops,
+                seed=args.seed,
+                check=args.check,
+                fault_rate=args.fault_rate,
+                real_predictor=args.real_predictor,
+                wrong_path=not args.no_wrong_path,
+                wrong_path_depth=args.wrong_path_depth,
+                params=base_params,
+                dcache_banks=args.dcache_banks,
+                store_alias_fraction=args.store_alias_fraction,
+                obs=obs,
+            )
+            for name in names
+        ]
     payload = results if args.all_presets else results[0]
     if args.json:
         print(json.dumps(payload, indent=2))
@@ -722,7 +849,8 @@ def _cmd_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
         f"executed {summary.executed}, cached {summary.cached}, "
         f"errors {summary.errors} -> {store.path} "
         f"({summary.wall_seconds:.1f}s wall, slowest point "
-        f"{summary.slowest_point_s:.1f}s)"
+        f"{summary.slowest_point_s:.1f}s, worker utilization "
+        f"{summary.worker_utilization:.0%})"
     )
     if obs is not None:
         for path in obs.finish(
@@ -771,6 +899,7 @@ def _cmd_bench(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
         format_bench,
         load_reference,
         run_bench,
+        sharded_gate_failures,
         write_bench_json,
     )
 
@@ -778,8 +907,18 @@ def _cmd_bench(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
         parser.error(f"--repeats must be positive, got {args.repeats}")
     if args.ops is not None and args.ops <= 0:
         parser.error(f"--ops must be positive, got {args.ops}")
-    if args.config == "all":
-        # The two full-length configs; ci-smoke only runs when named.
+    if args.configs is not None:
+        config_names = [name.strip() for name in args.configs.split(",") if name.strip()]
+        if not config_names:
+            parser.error("--configs wants at least one config name")
+        unknown = [name for name in config_names if name not in BENCH_CONFIGS]
+        if unknown:
+            parser.error(
+                f"unknown bench config(s) {', '.join(unknown)} — "
+                f"choose from {', '.join(BENCH_CONFIGS)}"
+            )
+    elif args.config == "all":
+        # The full-length configs; ci-smoke only runs when named.
         config_names = [name for name in BENCH_CONFIGS if name != "ci-smoke"]
     else:
         config_names = [args.config]
@@ -804,6 +943,11 @@ def _cmd_bench(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
         print("FAIL: kernel stats diverged from the pre-refactor reference",
               file=sys.stderr)
         return 1
+    sharded_failures = sharded_gate_failures(report)
+    if sharded_failures:
+        for failure in sharded_failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
     floor = args.min_ops_per_sec
     if floor is not None:
         if floor == "ref":
@@ -815,9 +959,14 @@ def _cmd_bench(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
             floor = float(floor)
         except ValueError:
             parser.error(f"--min-ops-per-sec must be a number or 'ref', got {floor!r}")
-        slowest = min(
-            entry["checked"]["ops_per_sec"] for entry in report["configs"].values()
-        )
+        # The sharded comparison entry carries no timed monolithic modes;
+        # the floor gates the per-core kernel configs.
+        timed = [
+            entry["checked"]["ops_per_sec"]
+            for entry in report["configs"].values()
+            if isinstance(entry.get("checked"), dict)
+        ]
+        slowest = min(timed) if timed else float("inf")
         if slowest < floor:
             print(
                 f"FAIL: checked-mode throughput {slowest:,.0f} ops/s is below "

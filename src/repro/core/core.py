@@ -320,6 +320,91 @@ class SuperscalarCore:
         self.stats.memory = self.hierarchy.snapshot()
         return self.stats
 
+    def run_window(
+        self,
+        trace: Sequence[MicroOp],
+        warmup_ops: int,
+        max_cycles: int | None = None,
+    ) -> CoreStats:
+        """Simulate ``trace`` but report stats for a measured window only.
+
+        The first ``warmup_ops`` *commits* are a warm-start prefix: they
+        train the caches, branch predictor, store sets, and fill the
+        checker pipeline exactly as :meth:`run` would, but their statistics
+        are discarded at a commit-aligned boundary (the first cycle whose
+        commit stage reaches ``warmup_ops`` retired ops — commit is
+        in-order, so the boundary is a well-defined point in the trace).
+        Everything after the boundary is measured: ``stats.cycles`` spans
+        boundary-to-end, every counter covers only the window, and the
+        memory snapshot is a delta against the boundary's raw counters.
+        Time-sharded runs (see :mod:`repro.parallel`) use this so each
+        shard's measurement starts from plausibly-warm microarchitectural
+        state rather than a cold machine.
+
+        ``warmup_ops <= 0`` is exactly :meth:`run`.  In-flight state at the
+        boundary (issued-not-committed ops, outstanding misses, an open
+        wrong-path episode) deliberately carries across: splitting such
+        state between windows is what would make shard sums diverge from
+        the monolithic run far more than the boundary approximation does.
+        """
+        if warmup_ops <= 0:
+            return self.run(trace, max_cycles=max_cycles)
+        self._trace = trace  # before the reset: wrong-path seqs start past it
+        self._reset_run_state()
+        if self.telemetry is not None:
+            raise ValueError(
+                "interval telemetry is not supported with warm-start windows"
+            )
+        limit = max_cycles if max_cycles is not None else 10_000 + 400 * len(trace)
+        self._cycle_limit = limit
+        started = time.perf_counter()
+        step = self._step
+        trace_len = len(trace)
+        window = self._window
+        skip = self._skip_enabled
+        ready_heap = self._ready_heap
+        maybe_skip = self._maybe_skip
+        stats = self.stats
+        # --- warmup phase: the plain run loop, halted at the first cycle
+        # boundary where the commit count has reached the warmup target ---
+        while (self._fetch_index < trace_len or window) and stats.committed < warmup_ops:
+            if self._now > limit:
+                raise DeadlockError(self._deadlock_report(limit))
+            step()
+            if skip and not ready_heap:
+                maybe_skip()
+        # --- measurement boundary: snapshot what must be subtracted at
+        # finalize, then zero the window counters in place (subsystems hold
+        # references to this stats object).  `committed` stays cumulative
+        # — the checkpointing policy keys off it — and is re-based below.
+        base_cycle = self._now
+        base_committed = stats.committed
+        base_injected = (
+            self.fault_injector.injected if self.fault_injector is not None else 0
+        )
+        base_decays = self._storesets.decays if self._storesets is not None else 0
+        base_memory = self.hierarchy.raw_counters()
+        base_posted = self._wheel.posted
+        stats.reset_window()
+        stats.committed = base_committed
+        # --- measured phase: the telemetry-off run loop, verbatim ---
+        while self._fetch_index < trace_len or window:
+            if self._now > limit:
+                raise DeadlockError(self._deadlock_report(limit))
+            step()
+            if skip and not ready_heap:
+                maybe_skip()
+        stats.cycles = self._now - base_cycle
+        stats.committed -= base_committed
+        if self.fault_injector is not None:
+            stats.faults_injected = self.fault_injector.injected - base_injected
+        if self._storesets is not None:
+            stats.ssit_decays = self._storesets.decays - base_decays
+        stats.wall_seconds = time.perf_counter() - started
+        stats.sched_events = self._wheel.posted - base_posted
+        stats.memory = self.hierarchy.snapshot(baseline=base_memory)
+        return stats
+
     def _flight_recorder_report(
         self, limit: int, telemetry: IntervalTelemetry
     ) -> str:

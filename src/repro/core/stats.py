@@ -200,6 +200,63 @@ class CoreStats:
             if slot < DETECTION_LATENCY_RESERVOIR:
                 samples[slot] = latency
 
+    def reset_window(self) -> None:
+        """Zero every measured counter in place (warm-start shard boundary).
+
+        Mutates this object rather than swapping it out: the checker, the
+        recovery manager, and the tracer hooks all captured a reference at
+        construction and must keep writing into the same instance.  Two
+        deliberate exceptions: ``issue_width`` and the ``*_enabled`` flags
+        describe the machine, not the window, and survive; ``committed``
+        stays cumulative because the checkpointing policy keys its
+        checkpoint sequence off the running commit count —
+        :meth:`SuperscalarCore.run_window` subtracts the warmup base at
+        finalize instead.
+        """
+        self.cycles = 0
+        self.fetched = 0
+        self.squashed = 0
+        self.mem_replays = 0
+        self.replay_slots_used = 0
+        self.branches = 0
+        self.branch_mispredicts = 0
+        self.primary_slots_used = 0
+        self.wrong_path_fetched = 0
+        self.wrong_path_issued = 0
+        self.wrong_path_squashed = 0
+        self.wrong_path_slots_used = 0
+        self.wrong_path_mem_replays = 0
+        self.checks_completed = 0
+        self.checker_slots_used = 0
+        self.faults_injected = 0
+        self.faults_detected = 0
+        self.faults_squashed = 0
+        self.recoveries = 0
+        self.detection_latency_sum = 0
+        self.detection_latency_max = 0
+        self.detection_latencies.clear()
+        self.mem_order_violations = 0
+        self.loads_forwarded = 0
+        self.loads_delayed = 0
+        self.lsq_full_stalls = 0
+        self.ssit_decays = 0
+        self.checkpoints_taken = 0
+        self.checkpoint_overhead_cycles = 0
+        self.recovery_stall_cycles = 0
+        self.rollback_distance_sum = 0
+        self.rollback_distance_max = 0
+        self.rollback_distance_hist.clear()
+        for cause in self.recoveries_by_cause:
+            self.recoveries_by_cause[cause] = 0
+        for cause in self.squashed_by_cause:
+            self.squashed_by_cause[cause] = 0
+        self.memory = {}
+        self._reservoir_rng = _reservoir_rng()
+        self._detections_seen = 0
+        self.wall_seconds = 0.0
+        self.sched_events = 0
+        self.cycles_skipped = 0
+
     @property
     def mean_recovery_stall(self) -> float:
         """Mean fetch-restart stall cycles per fault recovery."""

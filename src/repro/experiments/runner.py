@@ -63,6 +63,10 @@ class SweepSummary:
     errors: int  #: executed points that produced error rows
     wall_seconds: float = 0.0  #: wall time of this invocation's execution loop
     slowest_point_s: float = 0.0  #: worst single-point wall time observed
+    #: Sum of per-point wall times over (effective workers x loop wall):
+    #: 1.0 means no worker ever idled, low values mean stragglers
+    #: serialized the tail of the pool.
+    worker_utilization: float = 0.0
 
     def to_dict(self) -> dict[str, int | float]:
         return {
@@ -72,6 +76,7 @@ class SweepSummary:
             "errors": self.errors,
             "wall_seconds": self.wall_seconds,
             "slowest_point_s": self.slowest_point_s,
+            "worker_utilization": self.worker_utilization,
         }
 
 
@@ -188,6 +193,28 @@ def _pending_points(
     return pending, cached
 
 
+def _schedule_pending(
+    pending: list[RunPoint], timings: dict[str, float]
+) -> list[RunPoint]:
+    """Longest-point-first order for resumed sweeps.
+
+    Points with a recorded wall time (the store's timings sidecar, fed by
+    previous invocations) run longest-first, so the stragglers start while
+    the pool is still full instead of serializing at its tail.  Points
+    never timed run *first*, in spec order: an unknown point may itself be
+    the next straggler, and spec order keeps a fresh sweep's store layout
+    exactly what it was before scheduling existed.  Ties keep spec order
+    (the sort is stable), so the order — and therefore the store layout —
+    is a pure function of (spec, sidecar).
+    """
+    if not timings:
+        return pending
+    known = [point for point in pending if point.config_hash() in timings]
+    unknown = [point for point in pending if point.config_hash() not in timings]
+    known.sort(key=lambda point: timings[point.config_hash()], reverse=True)
+    return unknown + known
+
+
 def run_sweep(
     spec,
     store: ResultsStore,
@@ -213,16 +240,24 @@ def run_sweep(
         timeout_s = getattr(spec, "timeout_s", None)
     points = spec.points()
     pending, cached = _pending_points(points, store)
+    timings = store.load_timings()
+    pending = _schedule_pending(pending, timings)
     configs = [point.config() for point in pending]
     executed = 0
     errors = 0
     slowest = 0.0
+    busy = 0.0
+    new_timings: dict[str, float] = {}
     started = time.perf_counter()
     for row in _result_rows(configs, workers, timeout_s):
         elapsed = row.pop(ELAPSED_KEY, 0.0)
         started_at = row.pop(STARTED_KEY, None)
         worker = row.pop(WORKER_KEY, 0)
         slowest = max(slowest, elapsed)
+        busy += elapsed
+        digest = row.get("config_hash")
+        if digest:
+            new_timings[str(digest)] = elapsed
         store.append(row)
         executed += 1
         if row.get("status") != "ok":
@@ -242,19 +277,32 @@ def run_sweep(
             row["_elapsed_s"] = elapsed  # callback-visible, already un-stored
             progress(executed, len(configs), row)
             del row["_elapsed_s"]
+    wall = round(time.perf_counter() - started, 3)
+    effective_workers = max(1, min(workers, len(configs)))
     summary = SweepSummary(
         total=len(points),
         cached=cached,
         executed=executed,
         errors=errors,
-        wall_seconds=round(time.perf_counter() - started, 3),
+        wall_seconds=wall,
         slowest_point_s=slowest,
+        # min(): per-point times are rounded before summing, so the ratio
+        # can nudge past 1.0 on sub-millisecond points.
+        worker_utilization=(
+            min(1.0, round(busy / (effective_workers * wall), 4))
+            if executed and wall > 0
+            else 0.0
+        ),
     )
+    if new_timings:
+        timings.update(new_timings)
+        store.save_timings(timings)
     if registry is not None:
         for name in ("total", "cached", "executed", "errors"):
             registry.set_counter(f"sweep.{name}", getattr(summary, name))
         registry.set_gauge("sweep.wall_seconds", summary.wall_seconds)
         registry.set_gauge("sweep.slowest_point_s", summary.slowest_point_s)
+        registry.set_gauge("sweep.worker_utilization", summary.worker_utilization)
     return summary
 
 

@@ -108,6 +108,39 @@ class ResultsStore:
         self._cache_skipped = skipped
         return out
 
+    @property
+    def timings_path(self) -> Path:
+        """Sidecar JSON of per-point wall times (``<store>.timings.json``).
+
+        Kept outside the store itself: rows are a pure function of the
+        config (byte-identical across machines and worker counts), wall
+        times are neither.  The runner uses it to schedule resumed sweeps
+        longest-point-first; losing the file costs only scheduling quality.
+        """
+        return self.path.with_name(self.path.name + ".timings.json")
+
+    def load_timings(self) -> dict[str, float]:
+        """``config_hash -> wall seconds`` last observed (empty when absent)."""
+        try:
+            parsed = json.loads(self.timings_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return {}
+        if not isinstance(parsed, dict):
+            return {}
+        return {
+            key: float(value)
+            for key, value in parsed.items()
+            if isinstance(key, str) and isinstance(value, (int, float))
+        }
+
+    def save_timings(self, timings: dict[str, float]) -> None:
+        """Overwrite the sidecar (it is advisory state, not results)."""
+        if self.path.parent != Path("."):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.timings_path.write_text(
+            json.dumps(timings, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
     def rows(self) -> list[dict[str, Any]]:
         """All parseable rows, in append order."""
         return list(self._parsed())

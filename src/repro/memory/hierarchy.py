@@ -368,32 +368,93 @@ class MemoryHierarchy:
         self._pending_fills.clear()
         self._fills_armed = False
 
-    def snapshot(self) -> dict[str, float]:
-        """Flat stats dict for reports.
+    def raw_counters(self) -> dict[str, float | list[int]]:
+        """The raw (pre-derivation) counters behind :meth:`snapshot`.
 
-        Banking keys appear only when ``dcache_banks > 1``: the snapshot is
-        embedded (``mem_``-prefixed) in every result row, and legacy
-        single-bank rows must stay byte-identical.
+        Taken at a warm-start measurement boundary so :meth:`snapshot` can
+        later report the *measured window's* traffic as deltas against it
+        — the derived rates in a snapshot cannot be subtracted, but the
+        counters they are computed from can.
         """
-        data: dict[str, float] = {
-            "l1d_miss_rate": self.l1d.stats.miss_rate,
-            "l1d_accesses": self.l1d.stats.accesses,
-            "l2_miss_rate": self.l2.stats.miss_rate,
+        raw: dict[str, float | list[int]] = {
+            "l1d_hits": self.l1d.stats.hits,
+            "l1d_misses": self.l1d.stats.misses,
+            "l2_hits": self.l2.stats.hits,
+            "l2_misses": self.l2.stats.misses,
             "writebacks": self.l1d.stats.writebacks + self.l2.stats.writebacks,
             "mshr_merges": self.mshrs.merges,
             "mshr_full_stalls": self.mshrs.full_stalls,
             "port_conflicts": self.stats.port_conflicts,
             "bus_transfers": self.bus.transfers,
-            "bus_avg_queue_delay": self.bus.average_queue_delay,
+            "bus_queue_delay": self.bus.total_queue_delay,
             "ifetch_misses": self.stats.ifetch_misses,
         }
         if self._nbanks > 1:
+            raw["bank_conflicts"] = list(self.stats.bank_conflicts)
+            raw["checker_probes"] = self.stats.checker_probes
+            raw["checker_port_conflicts"] = self.stats.checker_port_conflicts
+            raw["checker_bank_conflicts"] = list(self.stats.checker_bank_conflicts)
+        return raw
+
+    def snapshot(
+        self, baseline: dict[str, float | list[int]] | None = None
+    ) -> dict[str, float]:
+        """Flat stats dict for reports.
+
+        Banking keys appear only when ``dcache_banks > 1``: the snapshot is
+        embedded (``mem_``-prefixed) in every result row, and legacy
+        single-bank rows must stay byte-identical.
+
+        With ``baseline`` (a :meth:`raw_counters` capture), every counter
+        and rate describes only the traffic *since* that capture — how a
+        warm-start window report excludes its warmup prefix.  The default
+        (no baseline) derives the same keys from the same arithmetic as
+        always, byte-identically.
+        """
+        base: dict = baseline if baseline is not None else {}
+        l1d_hits = self.l1d.stats.hits - base.get("l1d_hits", 0)
+        l1d_misses = self.l1d.stats.misses - base.get("l1d_misses", 0)
+        l1d_accesses = l1d_hits + l1d_misses
+        l2_hits = self.l2.stats.hits - base.get("l2_hits", 0)
+        l2_misses = self.l2.stats.misses - base.get("l2_misses", 0)
+        l2_accesses = l2_hits + l2_misses
+        transfers = self.bus.transfers - base.get("bus_transfers", 0)
+        queue_delay = self.bus.total_queue_delay - base.get("bus_queue_delay", 0)
+        data: dict[str, float] = {
+            "l1d_miss_rate": l1d_misses / l1d_accesses if l1d_accesses else 0.0,
+            "l1d_accesses": l1d_accesses,
+            "l2_miss_rate": l2_misses / l2_accesses if l2_accesses else 0.0,
+            "writebacks": (
+                self.l1d.stats.writebacks
+                + self.l2.stats.writebacks
+                - base.get("writebacks", 0)
+            ),
+            "mshr_merges": self.mshrs.merges - base.get("mshr_merges", 0),
+            "mshr_full_stalls": self.mshrs.full_stalls - base.get("mshr_full_stalls", 0),
+            "port_conflicts": self.stats.port_conflicts - base.get("port_conflicts", 0),
+            "bus_transfers": transfers,
+            "bus_avg_queue_delay": queue_delay / transfers if transfers else 0.0,
+            "ifetch_misses": self.stats.ifetch_misses - base.get("ifetch_misses", 0),
+        }
+        if self._nbanks > 1:
             stats = self.stats
+            zero_banks = [0] * self._nbanks
+            bank_base = base.get("bank_conflicts", zero_banks)
+            checker_bank_base = base.get("checker_bank_conflicts", zero_banks)
+            bank_conflicts = [
+                count - prev for count, prev in zip(stats.bank_conflicts, bank_base)
+            ]
+            checker_bank_conflicts = [
+                count - prev
+                for count, prev in zip(stats.checker_bank_conflicts, checker_bank_base)
+            ]
             data["dcache_banks"] = self._nbanks
-            data["bank_conflicts"] = sum(stats.bank_conflicts)
-            data["bank_conflicts_per_bank"] = list(stats.bank_conflicts)
-            data["checker_probes"] = stats.checker_probes
-            data["checker_port_conflicts"] = stats.checker_port_conflicts
-            data["checker_bank_conflicts"] = sum(stats.checker_bank_conflicts)
-            data["checker_bank_conflicts_per_bank"] = list(stats.checker_bank_conflicts)
+            data["bank_conflicts"] = sum(bank_conflicts)
+            data["bank_conflicts_per_bank"] = bank_conflicts
+            data["checker_probes"] = stats.checker_probes - base.get("checker_probes", 0)
+            data["checker_port_conflicts"] = stats.checker_port_conflicts - base.get(
+                "checker_port_conflicts", 0
+            )
+            data["checker_bank_conflicts"] = sum(checker_bank_conflicts)
+            data["checker_bank_conflicts_per_bank"] = checker_bank_conflicts
         return data

@@ -101,12 +101,16 @@ class ObsSession:
         telemetry_interval: int = 0,
         telemetry_out: str | Path | None = None,
         metrics_out: str | Path | None = None,
+        trace_ops: tuple[int, int] | None = None,
     ):
         self.trace_out = Path(trace_out) if trace_out else None
         self.op_trace_out = Path(op_trace_out) if op_trace_out else None
         self.telemetry_interval = telemetry_interval
         self.telemetry_out = Path(telemetry_out) if telemetry_out else None
         self.metrics_out = Path(metrics_out) if metrics_out else None
+        #: Half-open seq window every handed-out tracer filters by
+        #: (``--trace-ops``); None traces every op.
+        self.trace_ops = trace_ops
         self.registry = MetricsRegistry()
         self.tracers: list[PipelineTracer] = []
         self.telemetries: list[tuple[str, "_Telemetry"]] = []
@@ -125,7 +129,7 @@ class ObsSession:
         """A tracer for the core ``label``, or None when tracing is off."""
         if not self.wants_tracing:
             return None
-        tracer = PipelineTracer(label)
+        tracer = PipelineTracer(label, seq_range=self.trace_ops)
         self.tracers.append(tracer)
         return tracer
 

@@ -55,37 +55,67 @@ _EVENTS_TID = 1
 
 
 class PipelineTracer:
-    """Collects finalized per-op lifecycle records plus instant events."""
+    """Collects finalized per-op lifecycle records plus instant events.
 
-    __slots__ = ("label", "ops", "events")
+    ``seq_range`` (half-open ``(lo, hi)``) restricts collection to ops
+    whose trace sequence number falls in the range — the ``--trace-ops``
+    filter that keeps timelines of long runs tractable.  Wrong-path ops
+    have their own sequence space, so they are filtered by the
+    *mispredicted branch's* seq (``branch_color``): asking for ops
+    ``5000:6000`` also shows the wrong-path work those branches spawned.
+    Instant events carrying a ``seq`` follow the same rule; events without
+    one (they are sparse) are always kept.
+    """
 
-    def __init__(self, label: str = "core"):
+    __slots__ = ("label", "ops", "events", "seq_range")
+
+    def __init__(
+        self, label: str = "core", seq_range: tuple[int, int] | None = None
+    ):
         self.label = label
+        self.seq_range = seq_range
         #: Finalized op rows, in retirement/squash order.
         self.ops: list[dict[str, Any]] = []
         #: Instant events: ``(name, cycle, args)`` tuples.
         self.events: list[tuple[str, int, dict[str, Any]]] = []
 
+    def _wants(self, seq: int | None) -> bool:
+        if self.seq_range is None or seq is None:
+            return True
+        lo, hi = self.seq_range
+        return lo <= seq < hi
+
+    def _wants_op(self, op: "DynOp") -> bool:
+        if self.seq_range is None:
+            return True
+        return self._wants(op.branch_color if op.wrong_path else op.seq)
+
     # ------------------------------------------------------------------ hooks
 
     def op_retired(self, op: "DynOp", now: int) -> None:
         """Commit-stage hook: ``op`` just committed (record is final)."""
-        self.ops.append(self._row(op, squashed_at=None, cause=None))
+        if self._wants_op(op):
+            self.ops.append(self._row(op, squashed_at=None, cause=None))
 
     def op_squashed(self, op: "DynOp", cause: "RecoveryCause", now: int) -> None:
         """Recovery hook: ``op`` was just squashed for ``cause``."""
-        self.ops.append(self._row(op, squashed_at=now, cause=cause.value))
+        if self._wants_op(op):
+            self.ops.append(self._row(op, squashed_at=now, cause=cause.value))
 
     def recovery(self, cause: str, now: int, **detail: Any) -> None:
         """A recovery event fired (redirect scheduled, fault, violation)."""
-        self.events.append((f"recovery:{cause}", now, dict(detail)))
+        if self._wants(detail.get("seq")):
+            self.events.append((f"recovery:{cause}", now, dict(detail)))
 
     def checkpoint(self, seq: int, now: int) -> None:
         """A verified-state checkpoint was taken at commit frontier ``seq``."""
-        self.events.append(("checkpoint", now, {"seq": seq}))
+        if self._wants(seq):
+            self.events.append(("checkpoint", now, {"seq": seq}))
 
     def fault_detected(self, op: "DynOp", now: int) -> None:
         """The checker detected a corrupted primary result."""
+        if not self._wants(op.seq):
+            return
         latency = (
             op.check_complete_at - op.fault_at
             if op.check_complete_at is not None and op.fault_at is not None

@@ -7,7 +7,12 @@ profile knobs, and four presets (``int-heavy``, ``fp-heavy``,
 """
 
 from repro.workloads.profiles import PRESET_NAMES, PRESETS, WorkloadProfile, preset
-from repro.workloads.synthetic import TraceGenerator, WrongPathGenerator, generate
+from repro.workloads.synthetic import (
+    TraceGenerator,
+    WrongPathGenerator,
+    generate,
+    generate_window,
+)
 
 __all__ = [
     "PRESET_NAMES",
@@ -16,5 +21,6 @@ __all__ = [
     "WorkloadProfile",
     "WrongPathGenerator",
     "generate",
+    "generate_window",
     "preset",
 ]

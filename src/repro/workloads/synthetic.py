@@ -219,6 +219,45 @@ class TraceGenerator:
             )
         return MicroOp(op=static.op, dest=static.dest, srcs=static.srcs, pc=static.pc)
 
+    def fast_forward(self, count: int) -> None:
+        """Advance past ``count`` ops without materializing them.
+
+        Replays exactly the RNG draws and pointer updates :meth:`next_op`
+        performs per static slot — two ``random()`` draws for a branch, one
+        cold-check draw plus either a hot ``randrange`` or a cold-pointer
+        bump for an unpaired load/store, nothing for anything else — so a
+        subsequent :meth:`next_op` returns precisely the op a fresh
+        generator would produce at this offset.  This is what lets a shard
+        worker resynthesize its trace window in O(offset) RNG draws instead
+        of building (and discarding) every earlier micro-op.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        program = self._program
+        n = len(program)
+        profile = self.profile
+        rng_random = self._rng.random
+        rng_randrange = self._rng.randrange
+        cold_fraction = profile.cold_fraction
+        hot_lines = profile.hot_lines
+        branch_cls = OpClass.BRANCH
+        load_cls = OpClass.LOAD
+        store_cls = OpClass.STORE
+        index = self._index
+        for _ in range(count):
+            static = program[index % n]
+            index += 1
+            op = static.op
+            if op is branch_cls:
+                rng_random()  # outcome-noise draw
+                rng_random()  # mispredict draw
+            elif (op is load_cls or op is store_cls) and static.alias_pair is None:
+                if rng_random() < cold_fraction:
+                    self._cold_ptr += _LINE_BYTES
+                else:
+                    rng_randrange(hot_lines)
+        self._index = index
+
 
 #: Wrong-path data accesses land here by default: a region disjoint from
 #: both the hot set and the cold-streaming region, so wrong-path loads
@@ -353,3 +392,22 @@ def generate(profile: WorkloadProfile, num_ops: int, seed: int = 0) -> list[Micr
         raise ValueError(f"num_ops must be non-negative, got {num_ops}")
     generator = TraceGenerator(profile, seed=seed)
     return [generator.next_op() for _ in range(num_ops)]
+
+
+def generate_window(
+    profile: WorkloadProfile, start: int, count: int, seed: int = 0
+) -> list[MicroOp]:
+    """The slice ``generate(profile, start + count, seed)[start:]``, cheaply.
+
+    Fast-forwards a fresh generator over the first ``start`` ops (RNG draws
+    only — see :meth:`TraceGenerator.fast_forward`) and materializes the
+    next ``count``.  Element-for-element equal to the monolithic slice;
+    sharded runs rebuild each window this way.
+    """
+    if start < 0:
+        raise ValueError(f"start must be non-negative, got {start}")
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    generator = TraceGenerator(profile, seed=seed)
+    generator.fast_forward(start)
+    return [generator.next_op() for _ in range(count)]

@@ -17,6 +17,7 @@ def _counts(summary) -> dict:
     data = summary.to_dict()
     assert data.pop("wall_seconds") >= 0.0
     assert data.pop("slowest_point_s") >= 0.0
+    assert 0.0 <= data.pop("worker_utilization") <= 1.0
     return data
 
 
@@ -126,3 +127,63 @@ def test_timeout_applies_across_pool_workers(tmp_path):
     summary = run_sweep(spec, store, workers=2)
     assert summary.executed == 2 and summary.errors == 2
     assert all("timeout" in row["error"] for row in store.rows())
+
+
+def test_resumed_sweep_runs_longest_points_first(tmp_path):
+    """With a timings sidecar in place, execution order is longest-first."""
+    store = ResultsStore(tmp_path / "r.jsonl")
+    hashes = [point.config_hash() for point in SPEC.points()]
+    # Fabricate a sidecar that ranks the spec's points in reverse spec order.
+    store.save_timings({digest: float(i) for i, digest in enumerate(hashes)})
+    order = []
+    run_sweep(SPEC, store, workers=1,
+              progress=lambda i, n, row: order.append(row["config_hash"]))
+    assert order == list(reversed(hashes))
+    # The sweep replaces the fabricated times with measured ones.
+    timings = store.load_timings()
+    assert set(timings) == set(hashes)
+    assert all(value < 60.0 for value in timings.values())
+
+
+def test_untimed_points_run_first_in_spec_order(tmp_path):
+    """Unknown points lead (they may be the next straggler); known points
+    follow longest-first."""
+    from repro.experiments.runner import _schedule_pending
+
+    pending = SPEC.points()
+    hashes = [point.config_hash() for point in pending]
+    timings = {hashes[0]: 1.0, hashes[2]: 5.0}
+    ordered = [point.config_hash() for point in _schedule_pending(pending, timings)]
+    assert ordered == [hashes[1], hashes[3], hashes[2], hashes[0]]
+    # No sidecar: spec order untouched.
+    assert _schedule_pending(pending, {}) == pending
+
+
+def test_scheduling_never_changes_the_store_layout(tmp_path):
+    """Store rows stay a pure function of the config: a reordered execution
+    produces a byte-identical store once sorted by hash, and a fresh sweep
+    (no sidecar) keeps the historical spec-order layout exactly."""
+    plain = ResultsStore(tmp_path / "plain.jsonl")
+    run_sweep(SPEC, plain, workers=1)
+    scheduled = ResultsStore(tmp_path / "scheduled.jsonl")
+    hashes = [point.config_hash() for point in SPEC.points()]
+    scheduled.save_timings({digest: float(i) for i, digest in enumerate(hashes)})
+    run_sweep(SPEC, scheduled, workers=1)
+    def key(row):
+        return row["config_hash"]
+
+    assert sorted(plain.rows(), key=key) == sorted(scheduled.rows(), key=key)
+
+
+def test_sweep_writes_a_timings_sidecar(tmp_path):
+    store = ResultsStore(tmp_path / "r.jsonl")
+    summary = run_sweep(SPEC, store, workers=1)
+    assert summary.worker_utilization > 0.0
+    assert store.timings_path.exists()
+    timings = store.load_timings()
+    assert set(timings) == {point.config_hash() for point in SPEC.points()}
+    # A fully cached re-run executes nothing and leaves the sidecar alone.
+    before = store.timings_path.read_bytes()
+    again = run_sweep(SPEC, store, workers=1)
+    assert again.worker_utilization == 0.0
+    assert store.timings_path.read_bytes() == before

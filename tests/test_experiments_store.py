@@ -115,3 +115,19 @@ def test_cached_reads_preserve_skipped_line_count(tmp_path):
     assert store.skipped_lines == 1
     store.rows()  # cache hit must report the same diagnostic
     assert store.skipped_lines == 1
+
+
+def test_timings_sidecar_roundtrip_and_tolerant_load(tmp_path):
+    store = ResultsStore(tmp_path / "r.jsonl")
+    assert store.timings_path.name == "r.jsonl.timings.json"
+    assert store.load_timings() == {}  # missing sidecar is not an error
+    store.save_timings({"aa": 1.5, "bb": 0.25})
+    assert store.load_timings() == {"aa": 1.5, "bb": 0.25}
+    # Corrupt or wrong-shaped sidecars degrade to "no timings" — the
+    # sidecar is advisory scheduling state, never load-bearing.
+    store.timings_path.write_text("not json")
+    assert store.load_timings() == {}
+    store.timings_path.write_text('["a", "b"]')
+    assert store.load_timings() == {}
+    store.timings_path.write_text('{"aa": 2.0, "bb": "fast", "cc": null}')
+    assert store.load_timings() == {"aa": 2.0}

@@ -1,0 +1,144 @@
+"""Stats merge layer: reconciliation, not estimation.
+
+Every merged quantity must be computable exactly from the shard parts,
+and a single-part merge must be a bit-exact identity (that is what makes
+``--shards 1`` byte-identical to the monolithic path even though it flows
+through the merge).
+"""
+
+import pytest
+
+from repro.core.core import SuperscalarCore
+from repro.core.params import CoreParams
+from repro.core.stats import DETECTION_LATENCY_RESERVOIR, CoreStats
+from repro.parallel import merge_core_stats, merge_memory, merge_reservoirs
+from repro.workloads import generate, preset
+
+
+def _stats(**fields) -> CoreStats:
+    stats = CoreStats(issue_width=4)
+    for name, value in fields.items():
+        setattr(stats, name, value)
+    return stats
+
+
+def test_single_part_merge_is_identity():
+    trace = generate(preset("branchy"), 2_000, seed=0)
+    core = SuperscalarCore(CoreParams(model_wrong_path=False))
+    run = core.run(trace)
+    merged = merge_core_stats([run])
+    assert merged.to_dict() == run.to_dict()
+
+
+def test_counters_sum_and_maxes_max():
+    a = _stats(cycles=100, committed=90, branches=10, detection_latency_max=7)
+    b = _stats(cycles=50, committed=40, branches=5, detection_latency_max=12)
+    merged = merge_core_stats([a, b])
+    assert merged.cycles == 150
+    assert merged.committed == 130
+    assert merged.branches == 15
+    assert merged.detection_latency_max == 12
+    assert merged.ipc == pytest.approx(130 / 150)
+
+
+def test_histograms_and_cause_dicts_add_per_key():
+    a = _stats()
+    a.rollback_distance_hist = {1: 3, 4: 1}
+    a.recoveries_by_cause = {"fault": 2}
+    a.squashed_by_cause = {"fault": 5}
+    b = _stats()
+    b.rollback_distance_hist = {4: 2, 8: 1}
+    b.recoveries_by_cause = {"fault": 1, "mispredict": 4}
+    merged = merge_core_stats([a, b])
+    assert merged.rollback_distance_hist == {1: 3, 4: 3, 8: 1}
+    # The merged dicts start from CoreStats' pre-seeded zero causes; the
+    # parts' counts must land on top, key by key.
+    assert merged.recoveries_by_cause["fault"] == 3
+    assert merged.recoveries_by_cause["mispredict"] == 4
+    assert merged.squashed_by_cause["fault"] == 5
+    assert all(
+        count == 0
+        for cause, count in merged.squashed_by_cause.items()
+        if cause != "fault"
+    )
+
+
+def test_empty_shard_is_neutral():
+    real = _stats(cycles=100, committed=80, faults_detected=2)
+    real.detection_latencies = [3, 9]
+    real._detections_seen = 2
+    merged = merge_core_stats([real, _stats()])
+    assert merged.cycles == 100
+    assert merged.committed == 80
+    assert merged.detection_latencies == [3, 9]
+
+
+def test_merge_requires_at_least_one_part():
+    with pytest.raises(ValueError):
+        merge_core_stats([])
+
+
+# --------------------------------------------------------------- reservoirs
+
+
+def test_reservoir_concat_below_cap():
+    samples, seen = merge_reservoirs([([1, 2], 2), ([3], 1), ([], 0)])
+    assert samples == [1, 2, 3]
+    assert seen == 3
+
+
+def test_reservoir_subsample_above_cap_is_deterministic_and_proportional():
+    cap = DETECTION_LATENCY_RESERVOIR
+    parts = [
+        (list(range(cap)), 3 * cap),  # stored cap samples of 3*cap seen
+        (list(range(cap, 2 * cap)), cap),
+    ]
+    first = merge_reservoirs(parts)
+    second = merge_reservoirs(parts)
+    assert first == second  # pure function of the parts
+    samples, seen = first
+    assert len(samples) == cap
+    assert seen == 4 * cap
+    from_a = sum(1 for value in samples if value < cap)
+    # Quota proportional to true counts: ~3/4 from the first shard.
+    assert from_a == pytest.approx(0.75 * cap, abs=2)
+    assert set(samples) <= set(range(2 * cap))
+
+
+def test_reservoir_quota_capped_by_stored_samples():
+    cap = DETECTION_LATENCY_RESERVOIR
+    # First shard saw nearly everything but stored only 4 samples; its
+    # quota cannot exceed what it has, and the rest spills to the second.
+    parts = [([1, 2, 3, 4], 10 * cap), (list(range(100, 100 + cap)), cap)]
+    samples, seen = merge_reservoirs(parts)
+    assert len(samples) == cap
+    assert seen == 11 * cap
+    assert [s for s in samples if s < 100] == [1, 2, 3, 4]
+
+
+# ------------------------------------------------------------------- memory
+
+
+def test_memory_rates_rederive_from_summed_denominators():
+    a = {"l1d_accesses": 100, "l1d_misses": 10, "l1d_miss_rate": 0.1}
+    b = {"l1d_accesses": 300, "l1d_misses": 60, "l1d_miss_rate": 0.2}
+    merged = merge_memory([a, b], cycles=[50, 50])
+    assert merged["l1d_accesses"] == 400
+    assert merged["l1d_misses"] == 70
+    assert merged["l1d_miss_rate"] == pytest.approx(70 / 400)
+
+
+def test_memory_single_snapshot_identity_and_per_bank_sums():
+    snap = {"dcache_banks": 4, "bank_conflicts_per_bank": [1, 2, 3, 4]}
+    assert merge_memory([snap], cycles=[10]) == snap
+    other = {"dcache_banks": 4, "bank_conflicts_per_bank": [10, 0, 0, 1]}
+    merged = merge_memory([snap, other], cycles=[10, 10])
+    assert merged["dcache_banks"] == 4
+    assert merged["bank_conflicts_per_bank"] == [11, 2, 3, 5]
+
+
+def test_memory_unweighted_rates_are_cycle_weighted():
+    a = {"l2_miss_rate": 0.5}
+    b = {"l2_miss_rate": 0.1}
+    merged = merge_memory([a, b], cycles=[100, 300])
+    assert merged["l2_miss_rate"] == pytest.approx((0.5 * 100 + 0.1 * 300) / 400)
