@@ -11,6 +11,13 @@ Three subcommands:
   cartesian grid of such points fanned out across worker processes into an
   append-only, resumable JSONL results store (see
   :mod:`repro.experiments`).
+* ``python -m repro campaign --spec campaign.toml --workers 4`` — a
+  statistical fault-injection campaign: per (preset, fault model) cell,
+  one calibration run counts eligible fault sites, then N randomized
+  single-fault trials resolve each injected fault to its outcome
+  (detected / squashed / masked / SDC / false alarm) and the report
+  carries coverage and SDC rates with Wilson confidence intervals (see
+  :mod:`repro.experiments.campaign`).
 * ``python -m repro report`` — aggregates a results store across seeds
   (mean ± stddev) into the paper's tables, plus CSV and
   ``BENCH_sweep.json`` outputs.
@@ -35,6 +42,8 @@ from typing import Sequence
 
 from repro.core.params import CheckerParams, CoreParams, MemDepParams, RecoveryParams
 from repro.core.core import SuperscalarCore
+from repro.faults.models import FAULT_MODELS as _FAULT_MODELS
+from repro.isa.opcodes import FUClass
 from repro.memory.hierarchy import HierarchyParams, MemoryHierarchy
 from repro.obs import ObsSession
 from repro.obs.telemetry import render_table as render_telemetry_table
@@ -44,7 +53,7 @@ from repro.workloads import PRESET_NAMES, PRESETS, WorkloadProfile, WrongPathGen
 _DEFAULT_WRONG_PATH_DEPTH = CoreParams().wrong_path_depth
 
 #: Subcommand names — anything else in argv[0] position is legacy ``run``.
-COMMANDS = ("run", "sweep", "report", "bench")
+COMMANDS = ("run", "sweep", "campaign", "report", "bench")
 
 #: Default results-store path shared by ``sweep`` and ``report`` so the
 #: bare two-command flow works without plumbing a path through by hand.
@@ -237,6 +246,16 @@ def format_report(result: dict) -> str:
             f"det-latency mean {checked['mean_detection_latency']:.1f} "
             f"max {checked['max_detection_latency']:.0f}"
         )
+        if "fault_outcomes" in checked:
+            outcomes = checked["fault_outcomes"]
+            lines.append(
+                f"  outcomes:  model={checked['fault_model']}  "
+                f"detected {outcomes['detected']:.0f}  "
+                f"squashed {outcomes['squashed']:.0f}  "
+                f"masked {outcomes['masked']:.0f}  "
+                f"sdc {outcomes['sdc']:.0f}  "
+                f"false-alarm {outcomes['false_alarm']:.0f}"
+            )
         if "checkpoints_taken" in checked:
             lines.append(
                 f"  checkpoint: taken {checked['checkpoints_taken']:.0f}  "
@@ -280,6 +299,39 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=1e-4,
         help="per-op transient-fault probability in the checked run",
+    )
+    fault_group = parser.add_argument_group(
+        "fault model",
+        "which repro.faults model the checked run injects with; the "
+        "default transient model is detected by construction, the others "
+        "can mask, miss (SDC), or false-alarm and report a per-outcome "
+        "taxonomy",
+    )
+    fault_group.add_argument(
+        "--fault-model",
+        choices=_FAULT_MODELS,
+        default="transient",
+        help="fault model for the checked run",
+    )
+    fault_group.add_argument(
+        "--fault-burst",
+        type=int,
+        default=4,
+        metavar="OPS",
+        help="consecutive eligible ops corrupted per intermittent trigger",
+    )
+    fault_group.add_argument(
+        "--fault-fu",
+        choices=tuple(cls.name for cls in FUClass),
+        default="IALU",
+        help="FU class the stuck-fu model breaks",
+    )
+    fault_group.add_argument(
+        "--fault-repair-cycles",
+        type=int,
+        default=200,
+        metavar="CYCLES",
+        help="cycles until a stuck FU is repaired",
     )
     parser.add_argument(
         "--real-predictor",
@@ -487,7 +539,9 @@ def build_parser() -> argparse.ArgumentParser:
             "error detection (Smolens et al., MICRO 2004)."
         ),
     )
-    sub = parser.add_subparsers(dest="command", required=True, metavar="{run,sweep,report}")
+    sub = parser.add_subparsers(
+        dest="command", required=True, metavar="{run,sweep,campaign,report,bench}"
+    )
 
     run_parser = sub.add_parser(
         "run", help="run one (preset, seed, config) experiment point"
@@ -524,6 +578,25 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep_parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "re-execute a point that produced an error row up to N times "
+            "within this invocation (exponential backoff) before storing "
+            "the error; a retry that succeeds stores the normal success "
+            "row, byte-identical to a run that never needed it"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="initial backoff before the first retry (doubles per attempt)",
+    )
+    sweep_parser.add_argument(
         "--trace-out",
         default=None,
         metavar="PATH",
@@ -538,6 +611,53 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the sweep summary counters as a metrics-registry JSON",
+    )
+
+    campaign_parser = sub.add_parser(
+        "campaign",
+        help=(
+            "statistical fault-injection campaign: randomized single-fault "
+            "trials per (preset, fault model) cell with outcome taxonomy "
+            "and Wilson confidence intervals"
+        ),
+    )
+    campaign_parser.add_argument(
+        "--spec", required=True, help="campaign specification (.toml or .json)"
+    )
+    campaign_parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes (1 = in-process)"
+    )
+    campaign_parser.add_argument(
+        "--store",
+        default=None,
+        help=(
+            "append-only JSONL results store (default "
+            "campaign_results.jsonl; resumable — stored trials are skipped)"
+        ),
+    )
+    campaign_parser.add_argument(
+        "--bench-json",
+        default=None,
+        help="machine-readable campaign report path (default BENCH_campaign.json)",
+    )
+    campaign_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-trial wall-clock budget: a trial exceeding it becomes an "
+            "error row (retried on the next invocation); overrides the "
+            "spec's timeout_s field"
+        ),
+    )
+    campaign_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-trial progress lines"
+    )
+    campaign_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable campaign report instead of the table",
     )
 
     report_parser = sub.add_parser(
@@ -696,7 +816,27 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
             "observability outputs trace one experiment; drop --all-presets "
             "or run presets individually"
         )
+    if args.fault_burst < 1:
+        parser.error(f"--fault-burst must be >= 1, got {args.fault_burst}")
+    if args.fault_repair_cycles < 1:
+        parser.error(
+            f"--fault-repair-cycles must be >= 1, got {args.fault_repair_cycles}"
+        )
     base_kwargs: dict = {}
+    # Off-default model knobs ride the base checker params; run_experiment
+    # layers enabled/fault_rate/fault_seed on top with replace(), so the
+    # model selection survives into the checked core.
+    fault_kwargs: dict = {}
+    if args.fault_model != "transient":
+        fault_kwargs["fault_model"] = args.fault_model
+    if args.fault_burst != 4:
+        fault_kwargs["fault_burst"] = args.fault_burst
+    if args.fault_fu != "IALU":
+        fault_kwargs["fault_fu"] = args.fault_fu
+    if args.fault_repair_cycles != 200:
+        fault_kwargs["fault_repair_cycles"] = args.fault_repair_cycles
+    if fault_kwargs:
+        base_kwargs["checker"] = CheckerParams(**fault_kwargs)
     if args.frontend_depth:
         base_kwargs["frontend_depth"] = args.frontend_depth
     if args.memdep:
@@ -830,6 +970,10 @@ def _cmd_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
 
     if args.timeout is not None and args.timeout <= 0:
         parser.error(f"--timeout must be positive, got {args.timeout}")
+    if args.retries < 0:
+        parser.error(f"--retries must be non-negative, got {args.retries}")
+    if args.retry_backoff < 0:
+        parser.error(f"--retry-backoff must be non-negative, got {args.retry_backoff}")
     obs = (
         ObsSession(trace_out=args.trace_out, metrics_out=args.metrics_out)
         if (args.trace_out or args.metrics_out)
@@ -843,11 +987,14 @@ def _cmd_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
         timeout_s=args.timeout,
         spans=obs.span_collector(spec.name or "sweep") if obs is not None else None,
         registry=obs.registry if obs is not None else None,
+        retries=args.retries,
+        retry_backoff_s=args.retry_backoff,
     )
+    retried = f", retried {summary.retried}" if summary.retried else ""
     print(
         f"sweep '{spec.name}': {summary.total} points — "
         f"executed {summary.executed}, cached {summary.cached}, "
-        f"errors {summary.errors} -> {store.path} "
+        f"errors {summary.errors}{retried} -> {store.path} "
         f"({summary.wall_seconds:.1f}s wall, slowest point "
         f"{summary.slowest_point_s:.1f}s, worker utilization "
         f"{summary.worker_utilization:.0%})"
@@ -857,6 +1004,61 @@ def _cmd_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
             metadata={"sweep": spec.name, "spec": str(args.spec), "store": str(store.path)}
         ):
             print(f"wrote {path}", file=sys.stderr)
+    return 1 if summary.errors else 0
+
+
+def _cmd_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.experiments import ResultsStore
+    from repro.experiments.campaign import (
+        DEFAULT_CAMPAIGN_JSON,
+        DEFAULT_CAMPAIGN_STORE,
+        CampaignSpec,
+        aggregate_campaign,
+        render_campaign_text,
+        run_campaign,
+        write_campaign_json,
+    )
+
+    if args.workers <= 0:
+        parser.error(f"--workers must be positive, got {args.workers}")
+    if args.timeout is not None and args.timeout <= 0:
+        parser.error(f"--timeout must be positive, got {args.timeout}")
+    try:
+        spec = CampaignSpec.load(args.spec)
+    except (OSError, ValueError, TypeError) as exc:
+        parser.error(f"cannot load campaign spec {args.spec!r}: {exc}")
+    store = ResultsStore(args.store or DEFAULT_CAMPAIGN_STORE)
+
+    def progress(done: int, total: int, row: dict) -> None:
+        config = row.get("config", {})
+        print(
+            f"[{done}/{total}] {row.get('status', '?'):5s} "
+            f"{config.get('kind', '?')} preset={config.get('preset')} "
+            f"model={config.get('fault_model')} trial={config.get('trial', '-')}",
+            flush=True,
+        )
+
+    summary = run_campaign(
+        spec,
+        store,
+        workers=args.workers,
+        progress=None if args.quiet else progress,
+        timeout_s=args.timeout,
+    )
+    report = aggregate_campaign(spec, store)
+    out = write_campaign_json(report, args.bench_json or DEFAULT_CAMPAIGN_JSON)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_campaign_text(report))
+        print(
+            f"campaign '{spec.name}': {summary.cells} cells, "
+            f"{summary.trials_total} trials — executed {summary.trials_executed} "
+            f"(+{summary.calibrations} calibrations), cached {summary.cached}, "
+            f"errors {summary.errors} -> {store.path} "
+            f"({summary.wall_seconds:.1f}s wall)"
+        )
+        print(f"wrote {out}")
     return 1 if summary.errors else 0
 
 
@@ -988,6 +1190,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handler = {
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "campaign": _cmd_campaign,
         "report": _cmd_report,
         "bench": _cmd_bench,
     }[args.command]

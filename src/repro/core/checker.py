@@ -74,6 +74,10 @@ class Checker:
         # Cycle at which each register's *verified* value becomes available.
         # Absent key = value verified long ago (committed state), ready now.
         self._reg_ready: dict[int, int] = {}
+        # Per-issued-check fault hook (a FaultModel's on_check_issue, set by
+        # the core for models with wants_check_hook).  None — the default —
+        # costs one hoisted None-test per issued check.
+        self.fault_hook: Callable[[DynOp, int], None] | None = None
 
     # ----------------------------------------------------------------- queue
 
@@ -100,14 +104,21 @@ class Checker:
 
     def process_completions(self, done: list[DynOp], now: int) -> DynOp | None:
         """Retire the checks that finished this cycle; return the first
-        detected-faulty op.
+        anomalous op (a detected fault, or a false-alarming clean op).
 
         ``done`` is this cycle's batch of EV_CHECK_DONE payloads.  It is
         processed in program order so that when several checks finish on
-        the same cycle, the oldest fault wins and the caller squashes
+        the same cycle, the oldest anomaly wins and the caller squashes
         everything younger (which covers the rest — including any
         clean-but-younger checks left unmarked here).  Squashed entries are
         stale events from a victim of an earlier recovery and are ignored.
+
+        A *silently* corrupted op (``fault_silent`` — the corruption is
+        outside what the check recomputes) passes as clean here and is
+        free to commit: that is the SDC path the non-transient fault
+        models open up.  A ``check_faulty`` op miscompares even though
+        its primary result is fine; the caller dispatches on ``.faulty``
+        to tell the two returns apart.
         """
         if len(done) > 1:
             done.sort(key=_by_seq)
@@ -115,13 +126,15 @@ class Checker:
         for op in done:
             if op.squashed or op.checked:
                 continue
-            if op.faulty:
+            if op.faulty and not op.fault_silent:
                 stats.faults_detected += 1
                 # `fault_at` can legitimately be cycle 0, so a falsy-or
                 # fallback would report zero latency for that fault.
                 fault_at = op.fault_at if op.fault_at is not None else op.check_complete_at
                 stats.record_detection_latency(op.check_complete_at - fault_at)
                 return op
+            if op.check_faulty:
+                return op  # spurious miscompare: false alarm
             op.checked = True
             stats.checks_completed += 1
         return None
@@ -151,6 +164,7 @@ class Checker:
         fu_by_op = self._fu_by_op
         unpip_by_op = self._unpip_by_op
         probe = self._dcache_probe
+        fault_hook = self.fault_hook
         load_cls = OpClass.LOAD
         store_cls = OpClass.STORE
         while used < slots:
@@ -184,6 +198,8 @@ class Checker:
                 break
             op.check_issued_at = now
             op.check_complete_at = complete
+            if fault_hook is not None:
+                fault_hook(op, now)
             wheel_post(complete, EV_CHECK_DONE, op)
             dest = uop.dest
             if dest is not None and dest != REG_ZERO:

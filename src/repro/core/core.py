@@ -71,7 +71,8 @@ from typing import Callable, Iterable, Sequence
 from repro.branch.combining import CombiningPredictor
 from repro.core.checker import Checker
 from repro.core.dynop import DynOp
-from repro.core.faults import FaultInjector
+from repro.faults.models import FaultModel, build_fault_model
+from repro.faults.outcomes import OutcomeTracker, zero_outcomes
 from repro.core.params import CoreParams
 from repro.core.recovery import RecoveryManager
 from repro.core.sched import (
@@ -152,7 +153,8 @@ class SuperscalarCore:
         self.stats = CoreStats(issue_width=self.params.issue_width)
         cp = self.params.checker
         self.checker: Checker | None = None
-        self.fault_injector: FaultInjector | None = None
+        self.fault_injector: FaultModel | None = None
+        self._fault_tracker: OutcomeTracker | None = None
         if cp.enabled:
             # With D-cache banking modelled, every checker load/store must
             # win a (port, bank) slot against the primary stream before its
@@ -165,9 +167,19 @@ class SuperscalarCore:
             self.checker = Checker(
                 self._fu, self._latencies, self.stats, self._wheel, dcache_probe=probe
             )
-            self.fault_injector = FaultInjector(
-                rate=cp.fault_rate, seed=cp.fault_seed, force_seqs=cp.force_fault_seqs
-            )
+            self.fault_injector = build_fault_model(cp, self.params.fu_counts)
+            if self.fault_injector.wants_check_hook:
+                self.checker.fault_hook = self.fault_injector.on_check_issue
+            if cp.fault_model != "transient":
+                # Non-transient models can mask, miss, or false-alarm, so
+                # outcomes need tracking; the transient default resolves
+                # every fault as detected-or-squashed by construction and
+                # carries no tracker (and no stats block) at all.
+                self.stats.fault_model_enabled = True
+                self.stats.fault_model = cp.fault_model
+                self.stats.fault_outcomes = zero_outcomes()
+                self._fault_tracker = OutcomeTracker(self.stats, self.tracer)
+                self.fault_injector.tracker = self._fault_tracker
         # --- per-run caches for the cycle loop (the params object is
         # read-only during a run; a few of these reach into kernel-structure
         # internals, trading encapsulation for measured per-cycle cost) ---
@@ -313,6 +325,10 @@ class SuperscalarCore:
         self.stats.cycles = self._now
         if self.fault_injector is not None:
             self.stats.faults_injected = self.fault_injector.injected
+        if self._fault_tracker is not None:
+            # Committed-and-still-live silent faults resolve as SDC; after
+            # this every injected fault has exactly one outcome.
+            self._fault_tracker.finalize(self._now)
         if self._storesets is not None:
             self.stats.ssit_decays = self._storesets.decays
         self.stats.wall_seconds = time.perf_counter() - started
@@ -398,6 +414,8 @@ class SuperscalarCore:
         stats.committed -= base_committed
         if self.fault_injector is not None:
             stats.faults_injected = self.fault_injector.injected - base_injected
+        if self._fault_tracker is not None:
+            self._fault_tracker.finalize(self._now)
         if self._storesets is not None:
             stats.ssit_decays = self._storesets.decays - base_decays
         stats.wall_seconds = time.perf_counter() - started
@@ -602,9 +620,14 @@ class SuperscalarCore:
                 for store, load in violations:
                     self._recovery.recover_mem_violation(store, load, now)
             if checks_done is not None and checker is not None:
-                faulty = checker.process_completions(checks_done, now)
-                if faulty is not None:
-                    self._recovery.recover_fault(faulty, now)
+                anomaly = checker.process_completions(checks_done, now)
+                if anomaly is not None:
+                    if anomaly.faulty:
+                        self._recovery.recover_fault(anomaly, now)
+                    else:
+                        # A clean op whose check miscompared: checker-side
+                        # fault, replay the op itself (false alarm).
+                        self._recovery.recover_false_alarm(anomaly, now)
         # In-order commit: gate on the head so quiet cycles cost one check.
         window = self._window
         if window:
@@ -662,6 +685,7 @@ class SuperscalarCore:
         gate_on_check = self.checker is not None
         lsq = self._lsq if self._memdep_on else None
         tracer = self.tracer
+        fault_tracker = self._fault_tracker
         while window and done < budget:
             op = window[0]
             if gate_on_check:
@@ -680,6 +704,8 @@ class SuperscalarCore:
                 self.retired.append(op)
             if tracer is not None:
                 tracer.op_retired(op, now)
+            if fault_tracker is not None:
+                fault_tracker.note_commit(op, now)
             done += 1
         self.stats.committed += done
         if done and self._ckpt_on:
@@ -707,6 +733,8 @@ class SuperscalarCore:
         wheel_post = self._wheel.post
         access = self.hierarchy.access
         injector = self.fault_injector
+        inject_all = injector is not None and not injector.dest_only
+        fault_tracker = self._fault_tracker
         waiting_branch = self._waiting_branch
         store_cls = OpClass.STORE
         load_cls = OpClass.LOAD
@@ -783,14 +811,20 @@ class SuperscalarCore:
                 stats.wrong_path_slots_used += 1
             else:
                 stats.primary_slots_used += 1
+                if fault_tracker is not None:
+                    # A consumer of a live silent fault just issued: the
+                    # corrupt value propagated (MASKED is off the table).
+                    fault_tracker.note_issue(op)
                 # Wrong-path results are never checked, so corrupting them
                 # would be invisible and would break the detected+squashed
                 # == injected invariant.  Skipping them also keeps forced
                 # fault seqs stable across the toggle (rate-based draws
                 # still follow issue order, which the toggle can perturb).
-                # Register-writing ops only (the injector's own gate, so
-                # this fast path changes no RNG draw sequence).
-                if injector is not None and uop.dest is not None:
+                # Register-writing ops only by default (the transient
+                # injector's own gate, so this fast path changes no RNG
+                # draw sequence); models with dest_only=False — the
+                # address-path model must see stores — gate themselves.
+                if injector is not None and (uop.dest is not None or inject_all):
                     injector.maybe_inject(op)
             if op is waiting_branch:
                 # Resolution time is now known: fetch restarts after redirect

@@ -50,6 +50,16 @@ class DynOp:
     squashed: bool = False
     faulty: bool = False
     fault_at: int | None = None
+    #: A corruption the checker cannot see (load data path, or a check that
+    #: re-executed on the same broken unit): the check passes and the op can
+    #: commit corrupt — the SDC path.  Only non-transient fault models set it.
+    fault_silent: bool = False
+    #: The *check* recompute was wrong while the primary result is fine; the
+    #: spurious miscompare raises a false alarm and the op replays.
+    check_faulty: bool = False
+    #: A correct-path consumer issued while this op's silent corruption was
+    #: live — the outcome tracker's MASKED-vs-SDC discriminator.
+    fault_consumed: bool = False
     corrected: bool = False
     mispredicted: bool = False
     replays: int = 0

@@ -1,52 +1,11 @@
-"""Transient-fault injection for the primary execution stream.
+"""Back-compat shim: the fault machinery lives in :mod:`repro.faults`.
 
-Faults model a particle strike in a functional unit or result bus: the
-primary result of a register-writing op is silently wrong from its
-completion cycle onward.  The simulator carries the corruption as a flag
-(values are not modelled), and the checker's in-order re-execution — which
-recomputes from *verified* operands — detects the mismatch at check
-completion, before the op can commit.
+``FaultInjector`` — the historical single-model transient injector — is
+now :class:`repro.faults.models.TransientFault` under its old name, with
+an identical constructor, dest gate, force-seq semantics, and RNG draw
+sequence.  Import from :mod:`repro.faults` in new code.
 """
 
-from __future__ import annotations
+from repro.faults.models import TransientFault as FaultInjector
 
-import random
-
-from repro.core.dynop import DynOp
-
-
-class FaultInjector:
-    """Decides, at primary issue, whether an op's result is corrupted.
-
-    Args:
-        rate: Per-eligible-op corruption probability.
-        seed: RNG seed; the injection sequence is a pure function of the
-            seed and the (deterministic) simulation schedule.
-        force_seqs: Trace sequence numbers corrupted on first issue
-            regardless of ``rate`` — lets tests place faults exactly.
-    """
-
-    def __init__(self, rate: float = 0.0, seed: int = 7, force_seqs: frozenset[int] = frozenset()):
-        if not 0.0 <= rate <= 1.0:
-            raise ValueError(f"fault rate must be in [0, 1], got {rate}")
-        self.rate = rate
-        self._rng = random.Random(seed)
-        self._force = set(force_seqs)
-        self.injected = 0
-
-    def maybe_inject(self, op: DynOp) -> bool:
-        """Corrupt ``op``'s primary result if the dice (or a force) say so.
-
-        Only register-writing ops are eligible: stores, branches, and nops
-        carry no result value to corrupt in this model.
-        """
-        if op.uop.dest is None:  # inlined writes_register(): issue hot path
-            return False
-        if self._force and op.seq in self._force:
-            self._force.discard(op.seq)
-        elif not (self.rate > 0.0 and self._rng.random() < self.rate):
-            return False
-        op.faulty = True
-        op.fault_at = op.complete_at
-        self.injected += 1
-        return True
+__all__ = ["FaultInjector"]

@@ -44,6 +44,16 @@ class CheckerParams:
             :data:`SLOT_POLICIES`).
         reserved_slots: Issue slots per cycle set aside for the checker
             under the ``reserved`` policy (ignored when ``opportunistic``).
+        fault_model: Which :mod:`repro.faults` model injects (one of
+            ``repro.faults.FAULT_MODELS``; ``transient`` is the legacy
+            default and the only model with detection by construction).
+        fault_burst: Consecutive eligible ops corrupted per trigger under
+            the ``intermittent`` model.
+        fault_fu: FU class the ``stuck-fu`` model breaks (an
+            :class:`~repro.isa.opcodes.FUClass` name).
+        fault_repair_cycles: Cycles until a stuck unit is repaired.
+        force_fault_index: Corrupt the k-th eligible event regardless of
+            ``fault_rate`` — the campaign engine's single-fault knob.
     """
 
     enabled: bool = False
@@ -53,6 +63,11 @@ class CheckerParams:
     recovery_penalty: int = 8
     slot_policy: str = "opportunistic"
     reserved_slots: int = 2
+    fault_model: str = "transient"
+    fault_burst: int = 4
+    fault_fu: str = "IALU"
+    fault_repair_cycles: int = 200
+    force_fault_index: int | None = None
 
     def __post_init__(self) -> None:
         if self.slot_policy not in SLOT_POLICIES:
@@ -63,10 +78,35 @@ class CheckerParams:
             raise ValueError(f"fault_rate must be in [0, 1], got {self.fault_rate}")
         if self.reserved_slots <= 0 and self.slot_policy == "reserved":
             raise ValueError("reserved_slots must be positive under the reserved policy")
+        from repro.faults.models import FAULT_MODELS
+
+        if self.fault_model not in FAULT_MODELS:
+            raise ValueError(
+                f"fault_model must be one of {FAULT_MODELS}, got {self.fault_model!r}"
+            )
+        if self.fault_burst < 1:
+            raise ValueError(f"fault_burst must be >= 1, got {self.fault_burst}")
+        if self.fault_repair_cycles < 1:
+            raise ValueError(
+                f"fault_repair_cycles must be >= 1, got {self.fault_repair_cycles}"
+            )
+        if self.fault_fu not in FUClass.__members__:
+            raise ValueError(
+                f"fault_fu must be an FUClass name, got {self.fault_fu!r}"
+            )
+        if self.force_fault_index is not None and self.force_fault_index < 0:
+            raise ValueError(
+                f"force_fault_index must be >= 0, got {self.force_fault_index}"
+            )
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-serializable snapshot (``force_fault_seqs`` as a sorted list)."""
-        return {
+        """JSON-serializable snapshot (``force_fault_seqs`` as a sorted list).
+
+        The fault-model knobs are emitted only off their defaults, keeping
+        every stored config hash and golden params block from the
+        single-model era byte-identical.
+        """
+        data = {
             "enabled": self.enabled,
             "fault_rate": self.fault_rate,
             "fault_seed": self.fault_seed,
@@ -75,6 +115,17 @@ class CheckerParams:
             "slot_policy": self.slot_policy,
             "reserved_slots": self.reserved_slots,
         }
+        if self.fault_model != "transient":
+            data["fault_model"] = self.fault_model
+        if self.fault_burst != 4:
+            data["fault_burst"] = self.fault_burst
+        if self.fault_fu != "IALU":
+            data["fault_fu"] = self.fault_fu
+        if self.fault_repair_cycles != 200:
+            data["fault_repair_cycles"] = self.fault_repair_cycles
+        if self.force_fault_index is not None:
+            data["force_fault_index"] = self.force_fault_index
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CheckerParams":

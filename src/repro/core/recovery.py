@@ -71,6 +71,10 @@ class RecoveryCause(Enum):
     BRANCH_MISPREDICT = "branch_mispredict"
     CHECKER_FAULT = "checker_fault"
     MEM_ORDER_VIOLATION = "mem_order_violation"
+    #: A checker-side fault made a clean op's check miscompare; the op is
+    #: squashed and replayed (it was never wrong).  Only non-transient
+    #: fault models can produce it.
+    CHECKER_FALSE_ALARM = "checker_false_alarm"
 
 
 @dataclass(slots=True)
@@ -344,6 +348,9 @@ class RecoveryManager:
             # Before the flag flips below: the hook reads fault_at and
             # check_complete_at off the still-marked op.
             self._hook.fault_detected(faulty, now)
+        tracker = core._fault_tracker
+        if tracker is not None:
+            tracker.note_detected(faulty, now)
         faulty.faulty = False
         faulty.corrected = True
         faulty.checked = True
@@ -364,6 +371,41 @@ class RecoveryManager:
             self._hook.recovery(
                 RecoveryCause.CHECKER_FAULT.value, now, seq=faulty.seq, stall=stall
             )
+
+    def recover_false_alarm(self, op: "DynOp", now: int) -> None:
+        """A clean op's check miscompared (checker-side fault): replay it.
+
+        The hardware cannot tell a spurious miscompare from a real one,
+        and here it is the *checker's* recompute that is untrustworthy —
+        so unlike :meth:`recover_fault`, the op itself cannot commit as
+        corrected.  The squash boundary is ``op.seq - 1``: the op and
+        everything younger are re-fetched and re-checked (the replayed
+        check is a fresh eligible event for the fault model).  Stall
+        accounting matches fault recovery, under a distinct
+        :class:`RecoveryCause` inserted lazily into the per-cause dicts
+        (legacy rows never carry the key).
+        """
+        core = self._core
+        stats = self._stats
+        tracker = core._fault_tracker
+        if tracker is not None:
+            tracker.note_false_alarm(op, now)
+        op.check_faulty = False
+        stats.recoveries += 1
+        label = RecoveryCause.CHECKER_FALSE_ALARM.value
+        by_cause = stats.recoveries_by_cause
+        by_cause[label] = by_cause.get(label, 0) + 1
+        self.squash_younger(op.seq - 1, now, RecoveryCause.CHECKER_FALSE_ALARM)
+        if core.checker is not None:
+            core.checker.rebuild_after_squash(core._window)
+        core._fetch_index = op.seq
+        core._waiting_branch = None
+        self.end_wrong_path()
+        stall = self._fault_stall_cycles(op.seq, now)
+        stats.recovery_stall_cycles += stall
+        core._fetch_stall_until = now + stall
+        if self._hook is not None:
+            self._hook.recovery(label, now, seq=op.seq, stall=stall)
 
     def recover_mem_violation(self, store: "DynOp", load: "DynOp", now: int) -> None:
         """Deliver a posted memory-order violation: train, squash, replay.
@@ -414,8 +456,11 @@ class RecoveryManager:
         stats = self._stats
         label = cause.value
         by_cause = stats.squashed_by_cause
+        if label not in by_cause:  # lazy key for CHECKER_FALSE_ALARM
+            by_cause[label] = 0
         window = core._window
         hook = self._hook
+        tracker = core._fault_tracker
         while window and window[-1].seq > boundary_seq:
             victim = window.pop()
             victim.squashed = True
@@ -428,6 +473,10 @@ class RecoveryManager:
                 stats.squashed += 1
                 if victim.faulty:
                     stats.faults_squashed += 1
+                    if tracker is not None:
+                        tracker.note_squashed(victim, now)
+                elif victim.check_faulty and tracker is not None:
+                    tracker.note_squashed(victim, now)
             if victim.uop.op in UNPIPELINED_OPS:
                 self.release_victim_fu(victim, now)
         if core._memdep_on:

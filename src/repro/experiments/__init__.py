@@ -20,6 +20,16 @@ single run.  This package turns the simulator into an experiment platform:
   paper-style tables as text, CSV, and ``BENCH_sweep.json``.
 """
 
+from repro.experiments.campaign import (
+    CampaignSpec,
+    CampaignSummary,
+    aggregate_campaign,
+    execute_campaign_point,
+    render_campaign_text,
+    run_campaign,
+    wilson_interval,
+    write_campaign_json,
+)
 from repro.experiments.report import (
     aggregate,
     register_metrics,
@@ -32,17 +42,25 @@ from repro.experiments.spec import RunPoint, SweepSpec, canonical_json, config_h
 from repro.experiments.store import ResultsStore
 
 __all__ = [
+    "CampaignSpec",
+    "CampaignSummary",
     "ResultsStore",
     "RunPoint",
     "SweepSpec",
     "SweepSummary",
     "aggregate",
+    "aggregate_campaign",
     "canonical_json",
     "config_hash",
+    "execute_campaign_point",
     "execute_point",
     "register_metrics",
+    "render_campaign_text",
     "render_text",
+    "run_campaign",
     "run_sweep",
+    "wilson_interval",
     "write_bench_json",
+    "write_campaign_json",
     "write_csv_tables",
 ]

@@ -61,6 +61,7 @@ class SweepSummary:
     cached: int  #: skipped — already completed in the store (or in-grid dupes)
     executed: int  #: actually simulated this invocation
     errors: int  #: executed points that produced error rows
+    retried: int = 0  #: in-invocation re-executions of error rows (``retries=N``)
     wall_seconds: float = 0.0  #: wall time of this invocation's execution loop
     slowest_point_s: float = 0.0  #: worst single-point wall time observed
     #: Sum of per-point wall times over (effective workers x loop wall):
@@ -74,6 +75,7 @@ class SweepSummary:
             "cached": self.cached,
             "executed": self.executed,
             "errors": self.errors,
+            "retried": self.retried,
             "wall_seconds": self.wall_seconds,
             "slowest_point_s": self.slowest_point_s,
             "worker_utilization": self.worker_utilization,
@@ -223,6 +225,8 @@ def run_sweep(
     timeout_s: float | None = None,
     spans: "SpanCollector | None" = None,
     registry: "MetricsRegistry | None" = None,
+    retries: int = 0,
+    retry_backoff_s: float = 0.5,
 ) -> SweepSummary:
     """Execute every not-yet-stored point of ``spec`` into ``store``.
 
@@ -231,6 +235,13 @@ def run_sweep(
     times are surfaced through the progress callback (the popped
     ``_elapsed_s``) and aggregated into the summary, never stored.
 
+    ``retries`` re-executes a point that came back as an error row up to
+    that many times *within this invocation* (in the parent process, with
+    exponential backoff starting at ``retry_backoff_s``) before the error
+    row is stored.  A retry that succeeds stores the ordinary success row
+    — a pure function of the config, so the store stays byte-identical to
+    a run that never needed the retry.
+
     ``spans`` collects one wall-clock span per executed point (worker,
     start, duration — the runner half of ``--trace-out``); ``registry``
     receives the summary counters under ``sweep.``.  Both are observers:
@@ -238,6 +249,10 @@ def run_sweep(
     """
     if timeout_s is None:
         timeout_s = getattr(spec, "timeout_s", None)
+    if retries < 0:
+        raise ValueError(f"retries must be non-negative, got {retries}")
+    if retry_backoff_s < 0:
+        raise ValueError(f"retry_backoff_s must be non-negative, got {retry_backoff_s}")
     points = spec.points()
     pending, cached = _pending_points(points, store)
     timings = store.load_timings()
@@ -245,11 +260,23 @@ def run_sweep(
     configs = [point.config() for point in pending]
     executed = 0
     errors = 0
+    retried = 0
     slowest = 0.0
     busy = 0.0
     new_timings: dict[str, float] = {}
     started = time.perf_counter()
     for row in _result_rows(configs, workers, timeout_s):
+        # In-invocation retry: re-run error rows in the parent (crash
+        # isolation still holds — execute_point never raises) with
+        # exponential backoff, keeping whichever row the last attempt
+        # produced.  Transport keys are still on the row here, so the
+        # replacement row flows through the same popping below.
+        attempt = 0
+        while row.get("status") == "error" and attempt < retries:
+            time.sleep(retry_backoff_s * (2 ** attempt))
+            attempt += 1
+            retried += 1
+            row = execute_point(row["config"], timeout_s)
         elapsed = row.pop(ELAPSED_KEY, 0.0)
         started_at = row.pop(STARTED_KEY, None)
         worker = row.pop(WORKER_KEY, 0)
@@ -284,6 +311,7 @@ def run_sweep(
         cached=cached,
         executed=executed,
         errors=errors,
+        retried=retried,
         wall_seconds=wall,
         slowest_point_s=slowest,
         # min(): per-point times are rounded before summing, so the ratio
@@ -298,7 +326,7 @@ def run_sweep(
         timings.update(new_timings)
         store.save_timings(timings)
     if registry is not None:
-        for name in ("total", "cached", "executed", "errors"):
+        for name in ("total", "cached", "executed", "errors", "retried"):
             registry.set_counter(f"sweep.{name}", getattr(summary, name))
         registry.set_gauge("sweep.wall_seconds", summary.wall_seconds)
         registry.set_gauge("sweep.slowest_point_s", summary.slowest_point_s)

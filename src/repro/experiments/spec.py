@@ -77,6 +77,9 @@ class RunPoint:
     #: recovery); the overhead knob only matters while the interval is on.
     checkpoint_interval: int = 0
     checkpoint_overhead: int = 1
+    #: Which fault model the checked core injects with (one of
+    #: ``repro.faults.FAULT_MODELS``; ``transient`` is the legacy default).
+    fault_model: str = "transient"
 
     def config(self) -> dict[str, Any]:
         """The canonical, JSON-serializable identity of this point.
@@ -114,6 +117,8 @@ class RunPoint:
         if self.checkpoint_interval:
             config["checkpoint_interval"] = self.checkpoint_interval
             config["checkpoint_overhead"] = self.checkpoint_overhead
+        if self.fault_model != "transient":
+            config["fault_model"] = self.fault_model
         return config
 
     def config_hash(self) -> str:
@@ -148,6 +153,8 @@ class RunPoint:
                 "reserved_slots": self.reserved_slots,
             },
         }
+        if self.fault_model != "transient":
+            data["checker"]["fault_model"] = self.fault_model
         if self.fu_counts is not None:
             data["fu_counts"] = dict(self.fu_counts)
         if self.memdep:
@@ -179,6 +186,7 @@ class RunPoint:
         data.setdefault("store_alias_fraction", 0.0)
         data.setdefault("checkpoint_interval", 0)
         data.setdefault("checkpoint_overhead", 1)
+        data.setdefault("fault_model", "transient")
         known = {f.name for f in fields(cls)}
         unknown = set(data) - known
         if unknown:
@@ -244,6 +252,14 @@ def _validate_point(point: RunPoint) -> None:
         raise ValueError(
             f"store_alias_fraction must be in [0, 1], got {point.store_alias_fraction}"
         )
+    # Deferred import: repro.faults.models is pulled in lazily the same way
+    # CheckerParams validates, avoiding an import cycle at module load.
+    from repro.faults.models import FAULT_MODELS
+
+    if point.fault_model not in FAULT_MODELS:
+        raise ValueError(
+            f"fault_model must be one of {FAULT_MODELS}, got {point.fault_model!r}"
+        )
 
 
 def _default_fault_rates() -> list[float]:
@@ -280,6 +296,10 @@ def _default_dcache_banks() -> list[int]:
 
 def _default_checkpoint_intervals() -> list[int]:
     return [0]
+
+
+def _default_fault_models() -> list[str]:
+    return ["transient"]
 
 
 @dataclass(slots=True)
@@ -324,6 +344,9 @@ class SweepSpec:
     #: Scalar checkpoint-creation cost in fetch-stall cycles (inert at
     #: interval 0, and normalized out of those points' config hashes).
     checkpoint_overhead: int = 1
+    #: Fault-model axis: which injector the checked core runs (default
+    #: knobs per model; campaigns, not sweeps, vary the model internals).
+    fault_models: list[str] = field(default_factory=_default_fault_models)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -342,6 +365,7 @@ class SweepSpec:
             "memdep",
             "dcache_banks",
             "checkpoint_intervals",
+            "fault_models",
         ):
             values = getattr(self, axis)
             if not isinstance(values, (list, tuple)):
@@ -384,6 +408,7 @@ class SweepSpec:
             memdep,
             banks,
             ckpt_interval,
+            fault_model,
             seed,
         ) in itertools.product(
             self.presets,
@@ -396,6 +421,7 @@ class SweepSpec:
             self.memdep,
             self.dcache_banks,
             self.checkpoint_intervals,
+            self.fault_models,
             self.seeds,
         ):
             point = RunPoint(
@@ -417,6 +443,7 @@ class SweepSpec:
                 store_alias_fraction=self.store_alias_fraction,
                 checkpoint_interval=ckpt_interval,
                 checkpoint_overhead=self.checkpoint_overhead,
+                fault_model=fault_model,
             )
             _validate_point(point)
             out.append(point)

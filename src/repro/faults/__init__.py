@@ -1,0 +1,35 @@
+"""Fault subsystem: typed injection models and the per-fault outcome
+taxonomy.  See :mod:`repro.faults.models` for the model catalogue and
+:mod:`repro.faults.outcomes` for how each injected fault resolves."""
+
+from repro.faults.models import (
+    FAULT_MODELS,
+    AddressPathFault,
+    CheckerFault,
+    FaultModel,
+    IntermittentFault,
+    StuckAtFUFault,
+    TransientFault,
+    build_fault_model,
+)
+from repro.faults.outcomes import (
+    OUTCOME_KEYS,
+    FaultOutcome,
+    OutcomeTracker,
+    zero_outcomes,
+)
+
+__all__ = [
+    "FAULT_MODELS",
+    "OUTCOME_KEYS",
+    "AddressPathFault",
+    "CheckerFault",
+    "FaultModel",
+    "FaultOutcome",
+    "IntermittentFault",
+    "OutcomeTracker",
+    "StuckAtFUFault",
+    "TransientFault",
+    "build_fault_model",
+    "zero_outcomes",
+]

@@ -125,6 +125,19 @@ class PipelineTracer:
             ("fault_detected", now, {"seq": op.seq, "latency": latency})
         )
 
+    def fault_outcome(self, op: "DynOp", outcome: str, now: int) -> None:
+        """One injected fault resolved to its terminal taxonomy outcome.
+
+        Emitted by the outcome tracker (non-transient fault models only),
+        once per injected fault — including the ``detected`` case, whose
+        instant this duplicates with the outcome attached.
+        """
+        if not self._wants(op.seq):
+            return
+        self.events.append(
+            ("fault_outcome", now, {"seq": op.seq, "outcome": outcome})
+        )
+
     # ---------------------------------------------------------------- op rows
 
     @staticmethod

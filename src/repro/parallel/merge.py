@@ -183,6 +183,8 @@ def merge_core_stats(parts: Sequence[CoreStats]) -> CoreStats:
     merged.memdep_enabled = first.memdep_enabled
     merged.ssit_decay_enabled = first.ssit_decay_enabled
     merged.checkpointing_enabled = first.checkpointing_enabled
+    merged.fault_model_enabled = first.fault_model_enabled
+    merged.fault_model = first.fault_model
     for name in _SUMMED_FIELDS:
         setattr(merged, name, sum(getattr(part, name) for part in parts))
     merged.detection_latency_max = max(part.detection_latency_max for part in parts)
@@ -199,6 +201,10 @@ def merge_core_stats(parts: Sequence[CoreStats]) -> CoreStats:
         for cause, count in part.squashed_by_cause.items():
             merged.squashed_by_cause[cause] = (
                 merged.squashed_by_cause.get(cause, 0) + count
+            )
+        for outcome, count in part.fault_outcomes.items():
+            merged.fault_outcomes[outcome] = (
+                merged.fault_outcomes.get(outcome, 0) + count
             )
     samples, seen = merge_reservoirs(
         [(part.detection_latencies, part._detections_seen) for part in parts]

@@ -252,6 +252,47 @@ def _execute_shard(task: _ShardTask) -> _ShardResult:
     return result
 
 
+def _retry_shard(task: _ShardTask) -> _ShardResult:
+    """Re-run one failed shard in a fresh single-worker pool.
+
+    A shard that died with the rest of a crashed pool (OOM kill, broken
+    pipe) often succeeds alone; pool-level failures here become an error
+    result so the caller can fall through to in-process execution.
+    """
+    try:
+        with multiprocessing.Pool(processes=1) as pool:
+            return pool.apply(_execute_shard, (task,))
+    except Exception as exc:
+        result = _ShardResult(index=task.window.index)
+        result.error = f"retry pool failed — {type(exc).__name__}: {exc}"
+        return result
+
+
+def _degrade_failed_shards(
+    tasks: list[_ShardTask], shard_results: list[_ShardResult]
+) -> tuple[int, int]:
+    """Retry each failed shard once, then fall back to in-process execution.
+
+    Returns ``(retries, fallbacks)``.  Results are repaired in place; a
+    shard whose in-process fallback *also* fails keeps its error and the
+    caller raises as before — degradation never hides a deterministic
+    failure (a bad config fails identically everywhere).
+    """
+    retries = 0
+    fallbacks = 0
+    for position, result in enumerate(shard_results):
+        if result.error is None:
+            continue
+        task = tasks[position]
+        retries += 1
+        repaired = _retry_shard(task)
+        if repaired.error is not None:
+            fallbacks += 1
+            repaired = _execute_shard(task)
+        shard_results[position] = repaired
+    return retries, fallbacks
+
+
 def _merged_stats_dicts(
     shard_results: list[_ShardResult], check: bool
 ) -> tuple[dict, dict | None, float | None]:
@@ -364,8 +405,22 @@ def run_sharded_experiment(
     else:
         # Same ordered-map discipline as the sweep runner: results come
         # back in shard order regardless of completion order or pool size.
-        with multiprocessing.Pool(processes=pool_size) as pool:
-            shard_results = pool.map(_execute_shard, tasks, chunksize=1)
+        try:
+            with multiprocessing.Pool(processes=pool_size) as pool:
+                shard_results = pool.map(_execute_shard, tasks, chunksize=1)
+        except Exception as exc:
+            # A pool-level crash (a worker killed hard enough to break the
+            # pool itself) loses every result; synthesize error results so
+            # the degradation pass below re-runs each shard individually.
+            shard_results = []
+            for task in tasks:
+                result = _ShardResult(index=task.window.index)
+                result.error = f"pool crashed — {type(exc).__name__}: {exc}"
+                shard_results.append(result)
+    shard_retries = 0
+    shard_fallbacks = 0
+    if shards > 1:
+        shard_retries, shard_fallbacks = _degrade_failed_shards(tasks, shard_results)
     wall_s = time.perf_counter() - started
     failed = [result for result in shard_results if result.error is not None]
     if failed:
@@ -400,6 +455,8 @@ def run_sharded_experiment(
             "warmup_ops": warmup,
             "workers": pool_size,
             "host_cpus": os.cpu_count(),
+            "retries": shard_retries,
+            "fallbacks": shard_fallbacks,
             "wall_s": round(wall_s, 4),
             "windows": [
                 {

@@ -271,3 +271,95 @@ def test_default_run_emits_no_recovery_or_decay_keys(capsys):
     result = json.loads(capsys.readouterr().out)
     assert "recovery" not in result["params"]
     assert "checkpoints_taken" not in result["checked"]
+
+
+# ------------------------------------------------------------- fault models
+
+
+CAMPAIGN_TOML = """
+[campaign]
+name = "cli-campaign"
+presets = ["int-heavy"]
+fault_models = ["address", "checker"]
+trials = 4
+ops = 400
+"""
+
+
+def test_run_fault_model_flag_surfaces_outcomes(capsys):
+    main(
+        [
+            "run", "--preset", "int-heavy", "--ops", "800", "--check",
+            "--fault-rate", "0.005", "--fault-model", "intermittent",
+            "--fault-burst", "2", "--json",
+        ]
+    )
+    result = json.loads(capsys.readouterr().out)
+    checked = result["checked"]
+    assert checked["fault_model"] == "intermittent"
+    outcomes = checked["fault_outcomes"]
+    assert sum(outcomes.values()) == checked["faults_injected"] > 0
+    assert result["params"]["checker"]["fault_model"] == "intermittent"
+    # The human-readable report carries the same taxonomy line.
+    main(
+        [
+            "run", "--preset", "int-heavy", "--ops", "800", "--check",
+            "--fault-rate", "0.005", "--fault-model", "intermittent",
+            "--fault-burst", "2",
+        ]
+    )
+    assert "outcomes:" in capsys.readouterr().out
+
+
+def test_default_run_emits_no_fault_model_keys(capsys):
+    main(["run", "--preset", "int-heavy", "--ops", "400", "--check", "--json"])
+    result = json.loads(capsys.readouterr().out)
+    assert "fault_model" not in result["checked"]
+    assert "fault_outcomes" not in result["checked"]
+    assert "fault_model" not in result["params"]["checker"]
+
+
+def test_fault_model_flags_validate():
+    with pytest.raises(SystemExit):
+        main(["run", "--fault-model", "bit-rot"])
+    with pytest.raises(SystemExit):
+        main(["run", "--fault-model", "intermittent", "--fault-burst", "0"])
+    with pytest.raises(SystemExit):
+        main(["run", "--fault-model", "stuck-fu", "--fault-repair-cycles", "0"])
+    with pytest.raises(SystemExit):
+        main(["sweep", "--spec", "x.toml", "--retries", "-1"])
+
+
+def test_campaign_end_to_end(tmp_path, capsys):
+    spec = tmp_path / "campaign.toml"
+    spec.write_text(CAMPAIGN_TOML)
+    store = tmp_path / "campaign.jsonl"
+    bench = tmp_path / "BENCH_campaign.json"
+    argv = [
+        "campaign", "--spec", str(spec), "--store", str(store),
+        "--bench-json", str(bench), "--workers", "2", "--quiet",
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "campaign 'cli-campaign'" in out and "coverage" in out
+    payload = json.loads(bench.read_text())
+    assert payload["kind"] == "campaign"
+    by_model = {cell["fault_model"]: cell for cell in payload["cells"]}
+    assert by_model["address"]["rates"]["coverage"]["wilson_hi"] <= 1.0
+    # Resume: the second invocation executes nothing and reports the same.
+    assert main(argv) == 0
+    assert "executed 0" in capsys.readouterr().out
+
+
+def test_campaign_rejects_bad_specs(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["campaign", "--spec", str(tmp_path / "missing.toml")])
+    bad = tmp_path / "bad.toml"
+    bad.write_text('[campaign]\nname = "x"\npresets = ["int-heavy"]\n'
+                   'fault_models = ["bit-rot"]\n')
+    with pytest.raises(SystemExit):
+        main(["campaign", "--spec", str(bad)])
+    spec = tmp_path / "ok.toml"
+    spec.write_text(CAMPAIGN_TOML)
+    with pytest.raises(SystemExit):
+        main(["campaign", "--spec", str(spec), "--workers", "0"])

@@ -18,6 +18,7 @@ def _counts(summary) -> dict:
     assert data.pop("wall_seconds") >= 0.0
     assert data.pop("slowest_point_s") >= 0.0
     assert 0.0 <= data.pop("worker_utilization") <= 1.0
+    assert data.pop("retried") >= 0
     return data
 
 
@@ -173,6 +174,78 @@ def test_scheduling_never_changes_the_store_layout(tmp_path):
         return row["config_hash"]
 
     assert sorted(plain.rows(), key=key) == sorted(scheduled.rows(), key=key)
+
+
+def test_retries_reexecute_error_rows_to_an_identical_store(tmp_path, monkeypatch):
+    """A transient failure (OOM-killed worker, flaky host) heals inside one
+    invocation, and the healed store is byte-identical to one that never
+    failed — success rows are pure functions of the config."""
+    from repro.experiments import config_hash
+    from repro.experiments import runner as runner_mod
+
+    real = runner_mod.execute_point
+    calls = {"n": 0}
+
+    def flaky(config, timeout_s=None):
+        calls["n"] += 1
+        if calls["n"] == 1:  # first point, first attempt only
+            return {
+                "schema": config["schema"],
+                "config_hash": config_hash(config),
+                "config": config,
+                "status": "error",
+                "error": "synthetic transient crash",
+            }
+        return real(config, timeout_s)
+
+    monkeypatch.setattr(runner_mod, "execute_point", flaky)
+    store = ResultsStore(tmp_path / "flaky.jsonl")
+    summary = run_sweep(SPEC, store, workers=1, retries=2, retry_backoff_s=0.0)
+    assert _counts(summary) == {"total": 4, "cached": 0, "executed": 4, "errors": 0}
+    assert summary.retried == 1
+    monkeypatch.setattr(runner_mod, "execute_point", real)
+    clean = ResultsStore(tmp_path / "clean.jsonl")
+    run_sweep(SPEC, clean, workers=1)
+    assert store.path.read_bytes() == clean.path.read_bytes()
+
+
+def test_exhausted_retries_keep_the_error_row(tmp_path, monkeypatch):
+    """A deterministic failure is not hidden: after ``retries`` attempts the
+    error row is stored and the point stays incomplete for the next run."""
+    from repro.experiments import config_hash
+    from repro.experiments import runner as runner_mod
+
+    attempts = {"n": 0}
+
+    def broken(config, timeout_s=None):
+        attempts["n"] += 1
+        return {
+            "schema": config["schema"],
+            "config_hash": config_hash(config),
+            "config": config,
+            "status": "error",
+            "error": "synthetic deterministic crash",
+        }
+
+    monkeypatch.setattr(runner_mod, "execute_point", broken)
+    spec = SweepSpec(name="retry-test", presets=["int-heavy"], seeds=[0], ops=300)
+    store = ResultsStore(tmp_path / "r.jsonl")
+    summary = run_sweep(spec, store, workers=1, retries=3, retry_backoff_s=0.0)
+    assert summary.errors == 1 and summary.retried == 3
+    assert attempts["n"] == 4  # the original attempt plus three retries
+    (row,) = store.rows()
+    assert row["status"] == "error"
+    assert store.completed_hashes() == set()
+
+
+def test_run_sweep_validates_retry_arguments(tmp_path):
+    import pytest
+
+    store = ResultsStore(tmp_path / "r.jsonl")
+    with pytest.raises(ValueError):
+        run_sweep(SPEC, store, retries=-1)
+    with pytest.raises(ValueError):
+        run_sweep(SPEC, store, retry_backoff_s=-0.5)
 
 
 def test_sweep_writes_a_timings_sidecar(tmp_path):

@@ -253,3 +253,42 @@ def test_memdep_knob_validation(overrides, message):
     base.update(overrides)
     with pytest.raises(ValueError, match=message):
         SweepSpec(**base).points()
+
+
+# ------------------------------------------------------------- fault models
+
+
+def test_fault_model_axis_expands_and_roundtrips():
+    spec = SweepSpec(
+        name="s",
+        presets=["int-heavy"],
+        seeds=[0, 1],
+        ops=100,
+        fault_models=["transient", "checker"],
+    )
+    points = spec.points()
+    assert len(points) == 4
+    assert sorted({p.fault_model for p in points}) == ["checker", "transient"]
+    checker_point = next(p for p in points if p.fault_model == "checker")
+    config = checker_point.config()
+    assert config["fault_model"] == "checker"
+    rebuilt = RunPoint.from_config(config)
+    assert rebuilt.config_hash() == checker_point.config_hash()
+    assert rebuilt.core_params().checker.fault_model == "checker"
+
+
+def test_default_points_emit_no_fault_model_key():
+    point = SweepSpec(name="s", presets=["int-heavy"], seeds=[0], ops=100).points()[0]
+    config = point.config()
+    assert "fault_model" not in config
+    rebuilt = RunPoint.from_config(config)
+    assert rebuilt.fault_model == "transient"
+    assert rebuilt.config_hash() == point.config_hash()
+
+
+def test_unknown_fault_model_is_rejected():
+    with pytest.raises(ValueError, match="fault_model"):
+        SweepSpec(
+            name="s", presets=["int-heavy"], seeds=[0], ops=100,
+            fault_models=["bit-rot"],
+        ).points()[0].config()

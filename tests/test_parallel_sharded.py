@@ -98,6 +98,7 @@ def test_multi_shard_run_reconciles_the_op_budget():
     )
     sharding = result["sharding"]
     assert sharding["shards"] == 3
+    assert sharding["retries"] == 0 and sharding["fallbacks"] == 0
     assert [w["start"] for w in sharding["windows"]] == [0, 2_000, 4_000]
     committed = result["unchecked"]["committed"]
     # Each shard's commit-aligned boundary may overshoot its warmup by up
@@ -138,6 +139,99 @@ def test_sharded_fault_detection_is_preserved():
         == checked["faults_injected"]
     )
     assert result["fault_coverage"] == 1.0
+
+
+# ------------------------------------------------------ graceful degradation
+
+
+def _flaky_execute_shard(fail_first: int = 1):
+    """A stand-in for ``_execute_shard`` that fails its first N calls."""
+    from repro.parallel import shards as shards_mod
+
+    real = shards_mod._execute_shard
+    calls = {"n": 0}
+
+    def flaky(task):
+        calls["n"] += 1
+        if calls["n"] <= fail_first:
+            result = shards_mod._ShardResult(index=task.window.index)
+            result.error = "synthetic worker crash"
+            return result
+        return real(task)
+
+    return flaky
+
+
+def _run_degraded(**kwargs):
+    return run_sharded_experiment(
+        BRANCHY, num_ops=1_200, seed=0, shards=2, warmup=100, check=False,
+        workers=1, **kwargs
+    )
+
+
+def test_failed_shard_is_retried_and_the_result_is_unchanged(monkeypatch):
+    from repro.parallel import shards as shards_mod
+
+    clean = _run_degraded()
+    flaky = _flaky_execute_shard(fail_first=1)
+    monkeypatch.setattr(shards_mod, "_execute_shard", flaky)
+    # Route the retry through the same in-process stand-in instead of a
+    # fresh single-worker pool (the production path, minus the fork).
+    monkeypatch.setattr(shards_mod, "_retry_shard", lambda task: flaky(task))
+    result = _run_degraded()
+    assert result["sharding"]["retries"] == 1
+    assert result["sharding"]["fallbacks"] == 0
+    # Degradation repaired the shard, so the merged stats are exactly the
+    # no-failure run's (only wall-clock bookkeeping may differ).
+    assert result["unchecked"] == clean["unchecked"]
+
+
+def test_failed_retry_falls_back_to_in_process_execution(monkeypatch):
+    from repro.parallel import shards as shards_mod
+
+    clean = _run_degraded()
+    flaky = _flaky_execute_shard(fail_first=1)
+    monkeypatch.setattr(shards_mod, "_execute_shard", flaky)
+
+    def broken_retry(task):
+        result = shards_mod._ShardResult(index=task.window.index)
+        result.error = "retry pool failed — synthetic"
+        return result
+
+    monkeypatch.setattr(shards_mod, "_retry_shard", broken_retry)
+    result = _run_degraded()
+    assert result["sharding"]["retries"] == 1
+    assert result["sharding"]["fallbacks"] == 1
+    assert result["unchecked"] == clean["unchecked"]
+
+
+def test_persistent_shard_failure_still_raises(monkeypatch):
+    """Degradation never hides a deterministic failure: when the retry and
+    the in-process fallback fail too, the run dies loudly as before."""
+    from repro.parallel import shards as shards_mod
+
+    def always_broken(task):
+        result = shards_mod._ShardResult(index=task.window.index)
+        result.error = "synthetic deterministic crash"
+        return result
+
+    monkeypatch.setattr(shards_mod, "_execute_shard", always_broken)
+    monkeypatch.setattr(shards_mod, "_retry_shard", always_broken)
+    with pytest.raises(RuntimeError, match="shard"):
+        _run_degraded()
+
+
+def test_single_shard_runs_skip_the_degradation_pass(monkeypatch):
+    """``--shards 1`` must stay bit-identical to the monolithic path, so
+    the degradation machinery (and its bookkeeping) never engages."""
+    from repro.parallel import shards as shards_mod
+
+    def exploding_retry(task):  # pragma: no cover - must never run
+        raise AssertionError("degradation engaged on a single-shard run")
+
+    monkeypatch.setattr(shards_mod, "_retry_shard", exploding_retry)
+    result = run_sharded_experiment(BRANCHY, num_ops=1_000, shards=1, check=False)
+    assert "sharding" not in result
 
 
 # --------------------------------------------------------------------- CLI
